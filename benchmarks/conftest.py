@@ -1,0 +1,34 @@
+"""Shared benchmark utilities: paper-vs-measured row reporting."""
+
+import pytest
+
+
+def emit_table(title, rows):
+    """Print a paper-vs-measured table (visible with -s or in bench logs)."""
+    print(f"\n=== {title} ===")
+    if not rows:
+        print("(no rows)")
+        return
+    keys = list(rows[0])
+    widths = {
+        key: max(len(str(key)), max(len(str(row.get(key, ""))) for row in rows))
+        for key in keys
+    }
+    header = "  ".join(str(key).ljust(widths[key]) for key in keys)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print("  ".join(str(row.get(key, "")).ljust(widths[key]) for key in keys))
+
+
+@pytest.fixture()
+def report_rows():
+    """Collects rows during a benchmark and prints them at teardown."""
+    collected = {}
+
+    def collect(title, rows):
+        collected[title] = rows
+
+    yield collect
+    for title, rows in collected.items():
+        emit_table(title, rows)

@@ -1,0 +1,167 @@
+"""Fourier-domain periodicity search with harmonic summing.
+
+The survey's core detection step: "Fourier analysis, harmonic summing,
+threshold tests to identify candidates".  Pulsar pulses are narrow, so
+their power is spread over many harmonics of the spin frequency; summing
+the spectrum with its integer-stretched copies concentrates that power
+back into one statistic, buying sensitivity to short-duty-cycle pulsars at
+the cost of a higher trials factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import SearchError
+
+DEFAULT_HARMONICS = (1, 2, 4, 8, 16)
+
+
+def power_spectrum(timeseries: np.ndarray) -> np.ndarray:
+    """Normalized power spectrum (DC bin removed → index k is k/T Hz).
+
+    Normalization: for white Gaussian noise the powers are ~exponential
+    with unit mean, so thresholds have a direct false-alarm meaning.
+    """
+    series = np.asarray(timeseries, dtype=np.float64)
+    if series.ndim != 1 or len(series) < 16:
+        raise SearchError("need a 1-D time series of at least 16 samples")
+    series = series - series.mean()
+    spectrum = np.abs(np.fft.rfft(series)) ** 2
+    spectrum = spectrum[1:]  # drop DC
+    # Robust noise normalization: the median of a unit-mean exponential is
+    # ln 2, so dividing by median/ln2 restores unit mean under noise while
+    # ignoring bright signal bins.
+    median = np.median(spectrum)
+    if median <= 0:
+        raise SearchError("degenerate spectrum (zero median power)")
+    return spectrum / (median / np.log(2.0))
+
+
+def harmonic_sum(spectrum: np.ndarray, n_harmonics: int) -> np.ndarray:
+    """Sum the spectrum with its h-fold compressed copies.
+
+    Element ``k`` of the result is ``sum_{h=1..n} spectrum[h*(k+1)-1]``
+    (power at the h-th harmonic of frequency bin k), truncated where
+    harmonics fall off the end.
+    """
+    if n_harmonics < 1:
+        raise SearchError("need at least one harmonic")
+    n_bins = len(spectrum) // n_harmonics
+    if n_bins < 1:
+        raise SearchError("spectrum too short for this many harmonics")
+    total = np.zeros(n_bins, dtype=np.float64)
+    base = np.arange(1, n_bins + 1)
+    for harmonic in range(1, n_harmonics + 1):
+        total += spectrum[harmonic * base - 1]
+    return total
+
+
+def summed_snr(summed: np.ndarray, n_harmonics: int) -> np.ndarray:
+    """Convert harmonic-summed powers to an equivalent Gaussian S/N.
+
+    Under noise the sum of n unit-mean exponentials has mean n and
+    variance n; (x - n)/sqrt(n) is the standard detection statistic.
+    """
+    return (summed - n_harmonics) / np.sqrt(n_harmonics)
+
+
+@dataclass(frozen=True)
+class FourierCandidate:
+    """One above-threshold periodicity detection."""
+
+    freq_hz: float
+    period_s: float
+    snr: float
+    n_harmonics: int
+    dm: float
+    accel_ms2: float = 0.0  # trial acceleration the series was resampled at
+    pointing_id: int = -1
+    beam: int = -1
+
+
+def search_spectrum(
+    timeseries: np.ndarray,
+    tsamp_s: float,
+    dm: float,
+    snr_threshold: float = 6.0,
+    harmonics: Sequence[int] = DEFAULT_HARMONICS,
+    min_freq_hz: float = 1.0,
+    accel_ms2: float = 0.0,
+    pointing_id: int = -1,
+    beam: int = -1,
+) -> List[FourierCandidate]:
+    """Threshold test over all harmonic folds of one time series.
+
+    Each spectral bin keeps its best S/N over the harmonic ladder; bins
+    beating the threshold (above ``min_freq_hz``, to dodge red noise and
+    the 60 Hz comb's DC-side clutter) become candidates.
+    """
+    if tsamp_s <= 0:
+        raise SearchError("sampling time must be positive")
+    spectrum = power_spectrum(timeseries)
+    total_time = len(timeseries) * tsamp_s
+    candidates: List[FourierCandidate] = []
+    best: dict[int, Tuple[float, int]] = {}
+    for n_harmonics in harmonics:
+        if n_harmonics > len(spectrum):
+            continue
+        summed = harmonic_sum(spectrum, n_harmonics)
+        snrs = summed_snr(summed, n_harmonics)
+        for bin_index in np.flatnonzero(snrs >= snr_threshold):
+            snr = float(snrs[bin_index])
+            current = best.get(int(bin_index))
+            if current is None or snr > current[0]:
+                best[int(bin_index)] = (snr, n_harmonics)
+    for bin_index, (snr, n_harmonics) in best.items():
+        freq = (bin_index + 1) / total_time
+        if freq < min_freq_hz:
+            continue
+        candidates.append(
+            FourierCandidate(
+                freq_hz=freq,
+                period_s=1.0 / freq,
+                snr=snr,
+                n_harmonics=n_harmonics,
+                dm=dm,
+                accel_ms2=accel_ms2,
+                pointing_id=pointing_id,
+                beam=beam,
+            )
+        )
+    candidates.sort(key=lambda c: -c.snr)
+    return candidates
+
+
+def search_dm_block(
+    block: np.ndarray,
+    dm_trials: Sequence[float],
+    tsamp_s: float,
+    snr_threshold: float = 6.0,
+    harmonics: Sequence[int] = DEFAULT_HARMONICS,
+    min_freq_hz: float = 1.0,
+    pointing_id: int = -1,
+    beam: int = -1,
+) -> List[FourierCandidate]:
+    """Search every trial of a dedispersed block."""
+    if block.shape[0] != len(dm_trials):
+        raise SearchError("block rows must match DM trials")
+    candidates: List[FourierCandidate] = []
+    for row, dm in enumerate(dm_trials):
+        candidates.extend(
+            search_spectrum(
+                block[row],
+                tsamp_s,
+                dm,
+                snr_threshold=snr_threshold,
+                harmonics=harmonics,
+                min_freq_hz=min_freq_hz,
+                pointing_id=pointing_id,
+                beam=beam,
+            )
+        )
+    candidates.sort(key=lambda c: -c.snr)
+    return candidates

@@ -1,0 +1,144 @@
+"""National Virtual Observatory linkage.
+
+"Web access to the database at the CTC includes linkage to the National
+Virtual Observatory [...] Connecting the CTC database system with the NVO
+requires particular XML-based protocols that have been developed by the
+NVO Consortium.  We are currently developing tools that use these
+protocols."
+
+This module implements a VOTable-shaped XML export of the candidate
+database (typed FIELD declarations + TABLEDATA rows), a parser for the
+same, and the bridge that contributes an exported catalog to a
+:class:`repro.grid.federation.Federation` — the "federating their data
+with other data resources from the Astronomy community" step.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.arecibo.metaanalysis import CandidateDatabase
+from repro.core.errors import SearchError
+from repro.grid.federation import DataResource, Federation, tabular_resource
+
+# The exported columns, with VOTable datatypes.
+_FIELDS: Tuple[Tuple[str, str], ...] = (
+    ("name", "char"),
+    ("pointing_id", "int"),
+    ("beam", "int"),
+    ("period_s", "double"),
+    ("freq_hz", "double"),
+    ("dm", "double"),
+    ("snr", "double"),
+    ("classification", "char"),
+    ("version", "char"),
+)
+
+
+def export_votable(
+    database: CandidateDatabase,
+    path: Union[str, Path],
+    classification: Optional[str] = "astrophysical",
+    resource_name: str = "PALFA candidates",
+) -> int:
+    """Write the candidate table as a VOTable-shaped XML file.
+
+    Returns the number of rows exported.  By default only astrophysical
+    (post-meta-analysis) candidates are published.
+    """
+    rows = database.strongest(limit=1_000_000, classification=classification)
+    votable = ET.Element("VOTABLE", version="1.1")
+    resource = ET.SubElement(votable, "RESOURCE", name=resource_name)
+    table = ET.SubElement(resource, "TABLE", name="candidates")
+    ET.SubElement(table, "DESCRIPTION").text = (
+        "Pulsar candidates from the PALFA survey reproduction; "
+        "classification per the cross-pointing meta-analysis."
+    )
+    for field_name, datatype in _FIELDS:
+        ET.SubElement(table, "FIELD", name=field_name, datatype=datatype)
+    data = ET.SubElement(table, "DATA")
+    tabledata = ET.SubElement(data, "TABLEDATA")
+    count = 0
+    for row in rows:
+        tr = ET.SubElement(tabledata, "TR")
+        values = {
+            "name": f"PALFA_P{row['pointing_id']:04d}B{row['beam']}"
+                    f"F{row['freq_hz']:.3f}",
+            "pointing_id": row["pointing_id"],
+            "beam": row["beam"],
+            "period_s": row["period_s"],
+            "freq_hz": row["freq_hz"],
+            "dm": row["dm"],
+            "snr": row["snr"],
+            "classification": row["classification"],
+            "version": row["version"],
+        }
+        for field_name, _ in _FIELDS:
+            ET.SubElement(tr, "TD").text = str(values[field_name])
+        count += 1
+    ET.ElementTree(votable).write(path, encoding="unicode",
+                                  xml_declaration=True)
+    return count
+
+
+def parse_votable(path: Union[str, Path]) -> List[Dict[str, object]]:
+    """Read a VOTable-shaped file back into row dicts (typed per FIELD)."""
+    try:
+        tree = ET.parse(path)
+    except ET.ParseError as exc:
+        raise SearchError(f"{path}: not a well-formed VOTable: {exc}") from exc
+    root = tree.getroot()
+    if root.tag != "VOTABLE":
+        raise SearchError(f"{path}: root element is {root.tag!r}, not VOTABLE")
+    table = root.find("./RESOURCE/TABLE")
+    if table is None:
+        raise SearchError(f"{path}: no RESOURCE/TABLE element")
+    fields = [
+        (field.get("name"), field.get("datatype"))
+        for field in table.findall("FIELD")
+    ]
+    if not fields:
+        raise SearchError(f"{path}: table declares no FIELDs")
+
+    def convert(value: str, datatype: str) -> object:
+        if datatype == "int":
+            return int(value)
+        if datatype in ("double", "float"):
+            return float(value)
+        return value
+
+    rows: List[Dict[str, object]] = []
+    for tr in table.findall("./DATA/TABLEDATA/TR"):
+        cells = tr.findall("TD")
+        if len(cells) != len(fields):
+            raise SearchError(
+                f"{path}: row has {len(cells)} cells for {len(fields)} fields"
+            )
+        rows.append(
+            {
+                name: convert(cell.text or "", datatype)
+                for (name, datatype), cell in zip(fields, cells)
+            }
+        )
+    return rows
+
+
+def contribute_to_nvo(
+    federation: Federation,
+    votable_path: Union[str, Path],
+    resource_name: str = "arecibo-palfa",
+) -> DataResource:
+    """Load an exported VOTable and contribute it to a federation.
+
+    This is the survey's NVO hand-off: once contributed, the catalog
+    participates in cross-matches with any other federated resource.
+    """
+    rows = parse_votable(votable_path)
+    if not rows:
+        raise SearchError(f"{votable_path}: VOTable has no rows to contribute")
+    resource = tabular_resource(resource_name, rows,
+                                description="PALFA candidate catalog (VOTable)")
+    federation.contribute(resource)
+    return resource

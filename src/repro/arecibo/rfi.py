@@ -1,0 +1,171 @@
+"""Radio-frequency-interference identification and excision.
+
+"Interference from terrestrial sources needs to be at least identified and
+most likely removed from the data.  This requires development of new
+algorithms that simultaneously investigate dynamic spectra for each of the
+7 ALFA beams and apply tests of different kinds."
+
+Three tests, in the order the pipeline applies them:
+
+1. **Channel zapping** — persistent narrowband carriers light up a channel's
+   variance; replace flagged channels with noise-like data.
+2. **Zero-DM subtraction** — broadband undispersed signals (impulsive RFI)
+   are common to all channels at the same sample; subtracting the zero-DM
+   mean removes them while dispersed astrophysical signals survive.
+3. **Multibeam coincidence** — a genuine point source lives in one beam;
+   candidates detected at the same period/DM in many of the 7 beams at
+   once are sidelobe pickup and get culled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arecibo.filterbank import Filterbank
+from repro.arecibo.fourier import FourierCandidate
+from repro.arecibo.sky import N_BEAMS
+from repro.core.errors import SearchError
+
+
+def flag_bad_channels(filterbank: Filterbank, sigma_threshold: float = 4.0) -> List[int]:
+    """Channels whose variance is an outlier against the channel ensemble."""
+    variances = filterbank.data.var(axis=1)
+    median = np.median(variances)
+    mad = np.median(np.abs(variances - median))
+    scale = 1.4826 * mad
+    if scale <= 0:
+        return []
+    scores = (variances - median) / scale
+    return [int(channel) for channel in np.flatnonzero(scores > sigma_threshold)]
+
+
+def zap_channels(
+    filterbank: Filterbank,
+    channels: Sequence[int],
+    rng: Optional[np.random.Generator] = None,
+) -> Filterbank:
+    """Replace flagged channels with unit-variance noise (returns a copy)."""
+    rng = rng if rng is not None else np.random.default_rng(0)
+    data = filterbank.data.copy()
+    for channel in channels:
+        if not 0 <= channel < filterbank.n_channels:
+            raise SearchError(f"channel {channel} out of range")
+        data[channel] = rng.normal(0.0, 1.0, size=filterbank.n_samples).astype(np.float32)
+    return Filterbank(
+        data=data,
+        freq_low_mhz=filterbank.freq_low_mhz,
+        freq_high_mhz=filterbank.freq_high_mhz,
+        tsamp_s=filterbank.tsamp_s,
+        pointing_id=filterbank.pointing_id,
+        beam=filterbank.beam,
+    )
+
+
+def zero_dm_subtract(filterbank: Filterbank) -> Filterbank:
+    """Subtract each sample's frequency-mean (returns a copy).
+
+    Removes undispersed broadband power; a dispersed pulse contributes to
+    each sample's mean only weakly (its power is spread across arrival
+    times), so it survives largely intact.
+    """
+    data = filterbank.data - filterbank.data.mean(axis=0, keepdims=True)
+    return Filterbank(
+        data=data.astype(np.float32),
+        freq_low_mhz=filterbank.freq_low_mhz,
+        freq_high_mhz=filterbank.freq_high_mhz,
+        tsamp_s=filterbank.tsamp_s,
+        pointing_id=filterbank.pointing_id,
+        beam=filterbank.beam,
+    )
+
+
+def zero_dm_clip(filterbank: Filterbank, threshold_sigma: float = 5.0) -> Filterbank:
+    """Clip common-mode outlier samples instead of blanket subtraction.
+
+    Full zero-DM subtraction also removes part of any *weakly* dispersed
+    pulsar (a known cost of that filter), so production pipelines clip:
+    only samples whose cross-channel mean is a strong outlier have the
+    common mode removed.  Impulsive broadband RFI exceeds the threshold by
+    construction; a pulsar's per-sample common mode stays far below it.
+    """
+    common = filterbank.data.mean(axis=0)
+    sigma = max(float(np.std(common)), 1e-12)
+    median = float(np.median(common))
+    outliers = np.abs(common - median) > threshold_sigma * sigma
+    data = filterbank.data.copy()
+    data[:, outliers] -= (common[outliers] - median)[np.newaxis, :]
+    return Filterbank(
+        data=data.astype(np.float32),
+        freq_low_mhz=filterbank.freq_low_mhz,
+        freq_high_mhz=filterbank.freq_high_mhz,
+        tsamp_s=filterbank.tsamp_s,
+        pointing_id=filterbank.pointing_id,
+        beam=filterbank.beam,
+    )
+
+
+def clean_filterbank(
+    filterbank: Filterbank,
+    sigma_threshold: float = 4.0,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[Filterbank, List[int]]:
+    """The full single-beam excision: zap bad channels, clip zero-DM
+    outliers (see :func:`zero_dm_clip` for why clipping, not subtraction)."""
+    flagged = flag_bad_channels(filterbank, sigma_threshold)
+    cleaned = zap_channels(filterbank, flagged, rng=rng)
+    return zero_dm_clip(cleaned), flagged
+
+
+@dataclass
+class MultibeamResult:
+    """Partition of per-beam candidates into astrophysical vs RFI."""
+
+    accepted: List[FourierCandidate] = field(default_factory=list)
+    rejected: List[FourierCandidate] = field(default_factory=list)
+
+    @property
+    def rejection_count(self) -> int:
+        return len(self.rejected)
+
+
+def multibeam_coincidence(
+    candidates_by_beam: Sequence[Sequence[FourierCandidate]],
+    max_beams: int = 3,
+    freq_tolerance: float = 0.01,
+) -> MultibeamResult:
+    """Cull candidates seen in more than ``max_beams`` of the 7 beams.
+
+    Frequencies within ``freq_tolerance`` (fractional) are the same signal.
+    A sky point source can appear in a couple of adjacent beams at most;
+    sidelobe RFI appears in most or all of them.
+    """
+    if len(candidates_by_beam) != N_BEAMS:
+        raise SearchError(f"expected {N_BEAMS} beams of candidates")
+    if not 1 <= max_beams <= N_BEAMS:
+        raise SearchError("max_beams must be within 1..7")
+
+    flat = [
+        (beam_index, candidate)
+        for beam_index, beam in enumerate(candidates_by_beam)
+        for candidate in beam
+    ]
+    result = MultibeamResult()
+    for beam_index, candidate in flat:
+        # Count only *comparably strong* detections: sidelobe RFI has
+        # similar strength in every beam, while a strong pulsar must not
+        # be culled because weak noise shares its frequency elsewhere.
+        beams_seen = {
+            other_beam
+            for other_beam, other in flat
+            if abs(other.freq_hz - candidate.freq_hz)
+            <= freq_tolerance * candidate.freq_hz
+            and other.snr >= 0.5 * candidate.snr
+        }
+        if len(beams_seen) > max_beams:
+            result.rejected.append(candidate)
+        else:
+            result.accepted.append(candidate)
+    return result

@@ -1,0 +1,72 @@
+"""Detector calibration data.
+
+Calibration is the canonical "input that might affect the results" in the
+paper's versioning discussion: the version identifier's date reflects "the
+most recent change to the software or inputs to the reconstruction (e.g.,
+calibration data)".  A :class:`CalibrationSet` carries per-wire-plane
+position offsets; reconstruction subtracts them, so reconstructing with the
+wrong calibration version produces measurably biased tracks — which is how
+the provenance experiments detect drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.errors import EventStoreError
+
+
+@dataclass(frozen=True)
+class CalibrationSet:
+    """Per-plane alignment offsets, identified by a version tag."""
+
+    version: str
+    offsets: np.ndarray  # shape (n_planes,), cm
+
+    def __post_init__(self) -> None:
+        if not self.version:
+            raise EventStoreError("calibration version must be non-empty")
+        if self.offsets.ndim != 1:
+            raise EventStoreError("calibration offsets must be one-dimensional")
+        object.__setattr__(self, "offsets", np.asarray(self.offsets, dtype=np.float64))
+
+    @property
+    def n_planes(self) -> int:
+        return int(self.offsets.shape[0])
+
+    def apply(self, hit_positions: np.ndarray) -> np.ndarray:
+        """Correct measured positions (subtract the known misalignment).
+
+        ``hit_positions`` has planes along its last axis.
+        """
+        if hit_positions.shape[-1] != self.n_planes:
+            raise EventStoreError(
+                f"hits cover {hit_positions.shape[-1]} planes, calibration knows "
+                f"{self.n_planes}"
+            )
+        return hit_positions - self.offsets
+
+
+def true_misalignment(n_planes: int, scale_cm: float, seed: int) -> np.ndarray:
+    """The detector's actual plane misalignment (what calibration estimates)."""
+    rng = np.random.default_rng(seed)
+    return rng.normal(0.0, scale_cm, size=n_planes)
+
+
+def perfect_calibration(misalignment: np.ndarray, version: str) -> CalibrationSet:
+    """A calibration that exactly cancels the misalignment."""
+    return CalibrationSet(version=version, offsets=misalignment.copy())
+
+
+def degraded_calibration(
+    misalignment: np.ndarray, version: str, error_cm: float, seed: int = 0
+) -> CalibrationSet:
+    """A calibration with residual error (an earlier, cruder pass)."""
+    rng = np.random.default_rng(seed)
+    return CalibrationSet(
+        version=version,
+        offsets=misalignment + rng.normal(0.0, error_cm, size=misalignment.shape),
+    )

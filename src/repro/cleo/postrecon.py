@@ -1,0 +1,142 @@
+"""Post-reconstruction pass.
+
+"In addition to the reconstructed data files, post-reconstruction values
+are also produced and stored.  These values depend on statistics gathered
+from the reconstructed data, and so cannot be calculated until after
+reconstruction.  There are typically a dozen ASUs per event in the
+post-reconstruction data."
+
+The pass is therefore two-phase by construction: first a run-statistics
+sweep over all reconstructed events, then a per-event derivation of twelve
+small ASUs normalized against those run statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import SearchError
+from repro.core.provenance import ProvenanceStamp
+from repro.cleo.reconstruction import tracks_of
+from repro.eventstore.arrays import array_asu
+from repro.eventstore.model import Event
+from repro.eventstore.provenance import stamp_step
+
+# The dozen post-reconstruction ASUs.
+POSTRECON_ASUS = (
+    "multiplicity",
+    "meanChi2",
+    "maxChi2",
+    "slopeSpread",
+    "interceptSpread",
+    "eventShape",
+    "vertexEstimate",
+    "momentumProxy",
+    "qualityFlag",
+    "multiplicityZ",   # multiplicity z-score against run statistics
+    "chi2Z",           # chi2 z-score against run statistics
+    "runNormFactor",
+)
+
+
+@dataclass(frozen=True)
+class RunStatistics:
+    """Statistics gathered from one run's reconstructed data."""
+
+    run_number: int
+    n_events: int
+    mean_multiplicity: float
+    std_multiplicity: float
+    mean_chi2: float
+    std_chi2: float
+
+    @classmethod
+    def gather(cls, run_number: int, recon_events: Sequence[Event]) -> "RunStatistics":
+        if not recon_events:
+            raise SearchError(f"run {run_number}: no reconstructed events")
+        multiplicities = []
+        chi2_means = []
+        for event in recon_events:
+            tracks = tracks_of(event)
+            multiplicities.append(tracks.shape[0])
+            chi2_means.append(float(tracks[:, 2].mean()))
+        multiplicities = np.asarray(multiplicities, dtype=np.float64)
+        chi2_means = np.asarray(chi2_means, dtype=np.float64)
+        return cls(
+            run_number=run_number,
+            n_events=len(recon_events),
+            mean_multiplicity=float(multiplicities.mean()),
+            std_multiplicity=float(max(multiplicities.std(), 1e-9)),
+            mean_chi2=float(chi2_means.mean()),
+            std_chi2=float(max(chi2_means.std(), 1e-9)),
+        )
+
+
+class PostReconstructor:
+    """Derives the dozen post-recon ASUs for each event of a run."""
+
+    def __init__(self, release: str):
+        if not release:
+            raise SearchError("post-reconstruction release must be non-empty")
+        self.release = release
+
+    @property
+    def version(self) -> str:
+        return f"PostRecon_{self.release}"
+
+    def derive_event(self, recon_event: Event, stats: RunStatistics) -> Event:
+        tracks = tracks_of(recon_event)
+        n_tracks = tracks.shape[0]
+        x0 = tracks[:, 0]
+        slopes = tracks[:, 1]
+        chi2 = tracks[:, 2]
+        mean_chi2 = float(chi2.mean())
+        values = {
+            "multiplicity": float(n_tracks),
+            "meanChi2": mean_chi2,
+            "maxChi2": float(chi2.max()),
+            "slopeSpread": float(slopes.std()),
+            "interceptSpread": float(x0.std()),
+            # A crude sphericity proxy: spread of intercepts over spread of slopes.
+            "eventShape": float(x0.std() / (slopes.std() + 1e-6)),
+            "vertexEstimate": float(x0.mean()),
+            "momentumProxy": float(np.abs(slopes).mean()),
+            "qualityFlag": float(1.0 if mean_chi2 < 3.0 else 0.0),
+            "multiplicityZ": float(
+                (n_tracks - stats.mean_multiplicity) / stats.std_multiplicity
+            ),
+            "chi2Z": float((mean_chi2 - stats.mean_chi2) / stats.std_chi2),
+            "runNormFactor": float(stats.mean_multiplicity),
+        }
+        asus = {
+            name: array_asu(name, np.array([values[name]], dtype=np.float32))
+            for name in POSTRECON_ASUS
+        }
+        return Event(
+            run_number=recon_event.run_number,
+            event_number=recon_event.event_number,
+            asus=asus,
+        )
+
+    def process_run(
+        self,
+        run_number: int,
+        recon_events: Sequence[Event],
+        recon_stamp: ProvenanceStamp,
+    ) -> Tuple[List[Event], RunStatistics, ProvenanceStamp]:
+        """The two-phase pass: gather statistics, then derive per event."""
+        stats = RunStatistics.gather(run_number, recon_events)
+        derived = [self.derive_event(event, stats) for event in recon_events]
+        stamp = stamp_step(
+            module="PassPostRecon",
+            release=self.release,
+            params={
+                "meanMultiplicity": round(stats.mean_multiplicity, 6),
+                "meanChi2": round(stats.mean_chi2, 6),
+            },
+            parents=[recon_stamp],
+        )
+        return derived, stats, stamp

@@ -1,0 +1,88 @@
+"""Core dataflow framework: units, datasets, DAGs, execution, provenance,
+versioning, discrete-event simulation, and resource/cost models."""
+
+from repro.core.dataflow import DataFlow, Edge, Stage
+from repro.core.dataset import Dataset
+from repro.core.engine import Engine, FlowReport, StageContext, StageReport
+from repro.core.errors import (
+    CapacityError,
+    DataflowError,
+    DatabaseError,
+    EventStoreError,
+    ExecutionError,
+    IntegrityError,
+    MergeConflictError,
+    ProvenanceError,
+    ReproError,
+    SearchError,
+    StorageError,
+    TransportError,
+    UnitError,
+    VersioningError,
+    WebLabError,
+)
+from repro.core.provenance import (
+    ProcessingStep,
+    ProvenanceRecord,
+    ProvenanceStamp,
+    ProvenanceStore,
+)
+from repro.core.resources import (
+    DISK_COST_2005,
+    RAID_COST_2005,
+    TAPE_COST_2005,
+    CostLedger,
+    CpuPool,
+    PersonnelModel,
+    StorageCostModel,
+)
+from repro.core.simulation import EventLog, SimulationError, Simulator
+from repro.core.units import DataSize, Duration, Rate
+from repro.core.versioning import GradeHistory, GradeRegistry, SnapshotEntry, VersionId
+
+__all__ = [
+    "DataFlow",
+    "Edge",
+    "Stage",
+    "Dataset",
+    "Engine",
+    "FlowReport",
+    "StageContext",
+    "StageReport",
+    "CapacityError",
+    "DataflowError",
+    "DatabaseError",
+    "EventStoreError",
+    "ExecutionError",
+    "IntegrityError",
+    "MergeConflictError",
+    "ProvenanceError",
+    "ReproError",
+    "SearchError",
+    "StorageError",
+    "TransportError",
+    "UnitError",
+    "VersioningError",
+    "WebLabError",
+    "ProcessingStep",
+    "ProvenanceRecord",
+    "ProvenanceStamp",
+    "ProvenanceStore",
+    "CostLedger",
+    "CpuPool",
+    "DISK_COST_2005",
+    "PersonnelModel",
+    "RAID_COST_2005",
+    "StorageCostModel",
+    "TAPE_COST_2005",
+    "EventLog",
+    "SimulationError",
+    "Simulator",
+    "DataSize",
+    "Duration",
+    "Rate",
+    "GradeHistory",
+    "GradeRegistry",
+    "SnapshotEntry",
+    "VersionId",
+]

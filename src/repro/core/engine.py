@@ -1,0 +1,220 @@
+"""Dataflow execution with resource and lineage accounting.
+
+The engine runs a :class:`~repro.core.dataflow.DataFlow` in topological
+order, threading :class:`~repro.core.dataset.Dataset` objects along the
+edges.  While doing so it keeps the books the paper's operators keep by
+hand: bytes produced per stage, simulated CPU time per site, the
+instantaneous storage high-water mark (the "minimum of 30 Terabytes of
+storage required instantaneously" argument for Arecibo), and a provenance
+record per stage output.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from repro.core.dataflow import DataFlow, Stage
+from repro.core.dataset import Dataset
+from repro.core.errors import ExecutionError
+from repro.core.provenance import ProcessingStep, ProvenanceStore
+from repro.core.units import DataSize, Duration
+
+
+@dataclass
+class StageReport:
+    """Accounting for one executed stage."""
+
+    name: str
+    site: str
+    input_size: DataSize
+    output_size: DataSize
+    cpu_time: Duration
+    provenance_id: str
+
+    @property
+    def reduction_factor(self) -> float:
+        """input/output volume ratio (>1 means the stage condenses data)."""
+        if self.output_size.bytes == 0:
+            return float("inf")
+        return self.input_size.bytes / self.output_size.bytes
+
+
+@dataclass
+class FlowReport:
+    """Accounting for a whole flow run."""
+
+    flow_name: str
+    stages: List[StageReport] = field(default_factory=list)
+    outputs: Dict[str, Dataset] = field(default_factory=dict)
+    peak_live_storage: DataSize = field(default_factory=DataSize.zero)
+
+    @property
+    def total_cpu_time(self) -> Duration:
+        return Duration(sum(stage.cpu_time.seconds for stage in self.stages))
+
+    @property
+    def total_output(self) -> DataSize:
+        return DataSize(sum(stage.output_size.bytes for stage in self.stages))
+
+    def cpu_time_by_site(self) -> Dict[str, Duration]:
+        by_site: Dict[str, float] = {}
+        for stage in self.stages:
+            by_site[stage.site] = by_site.get(stage.site, 0.0) + stage.cpu_time.seconds
+        return {site: Duration(seconds) for site, seconds in by_site.items()}
+
+    def stage(self, name: str) -> StageReport:
+        for report in self.stages:
+            if report.name == name:
+                return report
+        raise KeyError(f"no stage report named {name!r}")
+
+    def processors_needed(self, realtime: Duration) -> float:
+        """How many CPUs keep up with this flow arriving every ``realtime``.
+
+        This reproduces the paper's "about 50 to 200 processors would be
+        needed to keep up with the flow of data" style of estimate: total
+        simulated CPU time divided by the wall-clock window in which the
+        next batch of data arrives.
+        """
+        if realtime.seconds == 0:
+            return float("inf")
+        return self.total_cpu_time.seconds / realtime.seconds
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        """Tabular stage summary (used by benchmarks and EXPERIMENTS.md)."""
+        return [
+            {
+                "stage": report.name,
+                "site": report.site,
+                "in": str(report.input_size),
+                "out": str(report.output_size),
+                "cpu": str(report.cpu_time),
+            }
+            for report in self.stages
+        ]
+
+
+class StageContext:
+    """Facilities the engine hands to each stage transform."""
+
+    def __init__(
+        self,
+        stage: Stage,
+        engine: "Engine",
+        provenance: ProvenanceStore,
+        rng: random.Random,
+    ):
+        self.stage = stage
+        self.engine = engine
+        self.provenance = provenance
+        self.rng = rng
+        self._extra_cpu_seconds = 0.0
+
+    def charge_cpu(self, duration: Duration) -> None:
+        """Let a stage report extra simulated CPU work beyond the size model."""
+        self._extra_cpu_seconds += duration.seconds
+
+    @property
+    def extra_cpu(self) -> Duration:
+        return Duration(self._extra_cpu_seconds)
+
+
+class Engine:
+    """Sequential topological executor with accounting.
+
+    Parameters
+    ----------
+    provenance:
+        Shared provenance store; one is created if not supplied.
+    seed:
+        Seed for the per-run RNG handed to stages, keeping stochastic
+        pipelines (detector noise, synthetic web growth) reproducible.
+    """
+
+    def __init__(self, provenance: Optional[ProvenanceStore] = None, seed: int = 0):
+        self.provenance = provenance if provenance is not None else ProvenanceStore()
+        self._seed = seed
+
+    def run(
+        self,
+        flow: DataFlow,
+        inputs: Optional[Mapping[str, Dataset]] = None,
+    ) -> FlowReport:
+        """Execute ``flow`` and return its :class:`FlowReport`.
+
+        ``inputs`` optionally maps *source stage names* to seed datasets;
+        source stages receive them under the key ``"input"``.
+        """
+        flow.validate()
+        order = flow.topological_order()
+        report = FlowReport(flow_name=flow.name)
+        produced: Dict[str, Dataset] = {}
+        prov_ids: Dict[str, str] = {}
+        # Reference counts drive the live-storage high-water accounting: a
+        # stage output stays "on disk" until every consumer has run.
+        remaining_consumers = {name: len(flow.successors(name)) for name in order}
+        live_bytes = 0.0
+        peak_bytes = 0.0
+        rng = random.Random(self._seed)
+
+        for name in order:
+            stage = flow.stages[name]
+            stage_inputs: Dict[str, Dataset] = {
+                pred: produced[pred] for pred in flow.predecessors(name)
+            }
+            if not stage_inputs and inputs and name in inputs:
+                stage_inputs = {"input": inputs[name]}
+            context = StageContext(stage, self, self.provenance, rng)
+            try:
+                output = stage.fn(stage_inputs, context)
+            except ExecutionError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - wrap with stage identity
+                raise ExecutionError(name, str(exc)) from exc
+            if not isinstance(output, Dataset):
+                raise ExecutionError(
+                    name, f"stage returned {type(output).__name__}, expected Dataset"
+                )
+
+            input_size = DataSize(
+                sum(dataset.size.bytes for dataset in stage_inputs.values())
+            )
+            cpu_seconds = stage.cpu_seconds_per_gb * (input_size.gb) + context.extra_cpu.seconds
+
+            step = ProcessingStep.create(
+                module=name,
+                version=output.version,
+                params={"site": stage.site},
+                inputs=sorted(dataset.dataset_id for dataset in stage_inputs.values()),
+            )
+            parents = [
+                prov_ids[pred] for pred in flow.predecessors(name) if pred in prov_ids
+            ]
+            record = self.provenance.record(artifact=output.name, step=step, parents=parents)
+            output.provenance_id = record.record_id
+            prov_ids[name] = record.record_id
+
+            produced[name] = output
+            live_bytes += output.size.bytes
+            peak_bytes = max(peak_bytes, live_bytes)
+            for pred in flow.predecessors(name):
+                remaining_consumers[pred] -= 1
+                if remaining_consumers[pred] == 0:
+                    live_bytes -= produced[pred].size.bytes
+
+            report.stages.append(
+                StageReport(
+                    name=name,
+                    site=stage.site,
+                    input_size=input_size,
+                    output_size=output.size,
+                    cpu_time=Duration(cpu_seconds),
+                    provenance_id=record.record_id,
+                )
+            )
+
+        report.outputs = {name: produced[name] for name in flow.sinks()}
+        report.peak_live_storage = DataSize(peak_bytes)
+        return report

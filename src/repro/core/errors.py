@@ -1,0 +1,72 @@
+"""Exception hierarchy shared across the library.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers can catch a single base class at pipeline boundaries while still
+being able to discriminate failures precisely.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class UnitError(ReproError, ValueError):
+    """Invalid unit arithmetic or an unparseable quantity string."""
+
+
+class DataflowError(ReproError):
+    """Structural problem in a dataflow graph (cycle, unknown stage, ...)."""
+
+
+class ExecutionError(ReproError):
+    """A dataflow stage failed while the engine was running it."""
+
+    def __init__(self, stage: str, message: str):
+        super().__init__(f"stage {stage!r}: {message}")
+        self.stage = stage
+
+
+class ProvenanceError(ReproError):
+    """Missing or inconsistent provenance information."""
+
+
+class VersioningError(ReproError):
+    """Invalid version identifier, grade, or snapshot request."""
+
+
+class StorageError(ReproError):
+    """Storage substrate failure (capacity exhausted, unknown file, ...)."""
+
+
+class CapacityError(StorageError):
+    """A storage medium or pool does not have room for a write."""
+
+
+class IntegrityError(ReproError):
+    """Checksum or fixity verification failed."""
+
+
+class TransportError(ReproError):
+    """Transfer planning or execution failure."""
+
+
+class DatabaseError(ReproError):
+    """Relational layer failure."""
+
+
+class EventStoreError(ReproError):
+    """EventStore API misuse or internal inconsistency."""
+
+
+class MergeConflictError(EventStoreError):
+    """A personal-store merge collided with existing collaboration data."""
+
+
+class SearchError(ReproError):
+    """Pulsar search pipeline failure (bad data shapes, empty input, ...)."""
+
+
+class WebLabError(ReproError):
+    """WebLab subsystem failure (malformed ARC/DAT records, ...)."""

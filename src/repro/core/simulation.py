@@ -1,0 +1,147 @@
+"""A small discrete-event simulation kernel.
+
+The storage and transport substrates need to answer "how long does this
+take, and what does it cost?" for flows far larger than a laptop can move
+for real (a Petabyte of raw Arecibo data, 544 TB of crawls).  They do so by
+scheduling events on this kernel rather than sleeping on wall-clock time.
+
+The kernel is deliberately minimal: a virtual clock, a priority queue of
+timestamped callbacks, and deterministic FIFO tie-breaking so simulations
+are reproducible run to run.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core.errors import ReproError
+from repro.core.units import Duration
+
+
+class SimulationError(ReproError):
+    """Scheduling into the past or running a corrupted event queue."""
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventLog:
+    """Optional trace of executed events, useful in tests and reports."""
+
+    def __init__(self) -> None:
+        self.entries: List[tuple] = []
+
+    def record(self, time: float, label: str) -> None:
+        self.entries.append((time, label))
+
+    def labels(self) -> List[str]:
+        return [label for _, label in self.entries]
+
+
+class Simulator:
+    """Virtual-time event loop.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(Duration.hours(3), lambda: print("session done"))
+        sim.run()
+        assert sim.now.hours_ == 3
+    """
+
+    def __init__(self, log_events: bool = False):
+        self._queue: List[_ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self.log: Optional[EventLog] = EventLog() if log_events else None
+
+    @property
+    def now(self) -> Duration:
+        """Current virtual time since simulation start."""
+        return Duration(self._now)
+
+    @property
+    def now_seconds(self) -> float:
+        return self._now
+
+    def schedule(
+        self,
+        delay: Duration,
+        action: Callable[[], None],
+        label: str = "",
+    ) -> _ScheduledEvent:
+        """Schedule ``action`` to run ``delay`` after the current time."""
+        return self.schedule_at(Duration(self._now + delay.seconds), action, label)
+
+    def schedule_at(
+        self,
+        when: Duration,
+        action: Callable[[], None],
+        label: str = "",
+    ) -> _ScheduledEvent:
+        """Schedule ``action`` at absolute virtual time ``when``."""
+        if when.seconds < self._now:
+            raise SimulationError(
+                f"cannot schedule event {label!r} at t={when.seconds} "
+                f"(clock already at t={self._now})"
+            )
+        event = _ScheduledEvent(
+            time=when.seconds,
+            sequence=next(self._sequence),
+            action=action,
+            label=label,
+        )
+        heapq.heappush(self._queue, event)
+        return event
+
+    def cancel(self, event: _ScheduledEvent) -> None:
+        """Mark an event so it is skipped when its time comes."""
+        event.cancelled = True
+
+    def step(self) -> bool:
+        """Run the single next event.  Returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            if self.log is not None:
+                self.log.record(event.time, event.label)
+            event.action()
+            return True
+        return False
+
+    def run(self, until: Optional[Duration] = None) -> Duration:
+        """Run events until the queue drains (or virtual time passes ``until``).
+
+        Returns the final clock value.  When ``until`` is given, events due
+        later than it stay queued and the clock is advanced exactly to
+        ``until``.
+        """
+        if until is not None and until.seconds < self._now:
+            raise SimulationError(
+                f"cannot run until t={until.seconds}: clock already at {self._now}"
+            )
+        while self._queue:
+            next_time = self._queue[0].time
+            if until is not None and next_time > until.seconds:
+                self._now = until.seconds
+                return self.now
+            if not self.step():
+                break
+        if until is not None and self._now < until.seconds:
+            self._now = until.seconds
+        return self.now
+
+    def pending(self) -> int:
+        """Number of not-yet-cancelled queued events."""
+        return sum(1 for event in self._queue if not event.cancelled)

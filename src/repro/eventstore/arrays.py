@@ -1,0 +1,61 @@
+"""Packing numpy arrays into ASU payloads.
+
+Detector data is numeric; ASU payloads are opaque bytes.  This module is
+the bridge: a tiny self-describing binary encoding (dtype + shape header,
+then the raw buffer) so any pipeline stage can round-trip arrays through
+event files without pickling.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.errors import EventStoreError
+from repro.eventstore.model import ASU
+
+_LEN = struct.Struct("<I")
+
+
+def pack_array(array: np.ndarray) -> bytes:
+    """Serialize an array: 4-byte header length, JSON header, raw bytes."""
+    array = np.ascontiguousarray(array)
+    header = json.dumps(
+        {"dtype": array.dtype.str, "shape": list(array.shape)}
+    ).encode("ascii")
+    return _LEN.pack(len(header)) + header + array.tobytes()
+
+
+def unpack_array(payload: bytes) -> np.ndarray:
+    """Inverse of :func:`pack_array`."""
+    if len(payload) < 4:
+        raise EventStoreError("array payload too short for header length")
+    (header_length,) = _LEN.unpack(payload[:4])
+    if len(payload) < 4 + header_length:
+        raise EventStoreError("array payload truncated in header")
+    try:
+        header = json.loads(payload[4 : 4 + header_length].decode("ascii"))
+        dtype = np.dtype(header["dtype"])
+        shape = tuple(int(dim) for dim in header["shape"])
+    except (ValueError, KeyError, UnicodeDecodeError) as exc:
+        raise EventStoreError(f"bad array payload header: {exc}") from exc
+    expected = dtype.itemsize * int(np.prod(shape)) if shape else dtype.itemsize
+    body = payload[4 + header_length :]
+    if len(body) != expected:
+        raise EventStoreError(
+            f"array payload body is {len(body)} bytes, expected {expected}"
+        )
+    return np.frombuffer(body, dtype=dtype).reshape(shape).copy()
+
+
+def array_asu(name: str, array: np.ndarray) -> ASU:
+    """Build an ASU holding one array."""
+    return ASU(name=name, payload=pack_array(array))
+
+
+def asu_array(asu: ASU) -> np.ndarray:
+    """Extract the array from an ASU built by :func:`array_asu`."""
+    return unpack_array(asu.payload)

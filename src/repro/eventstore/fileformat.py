@@ -1,0 +1,230 @@
+"""Binary event-file format with provenance extension records.
+
+"Provenance data are stored in the data files using a simple extension to
+the standard CLEO data storage system [...] The version strings and hash
+are stored in the output stream of each file written, so that every derived
+data file carries a summary of its provenance."
+
+Layout (all integers little-endian, unsigned):
+
+========  =======================================================
+bytes     meaning
+========  =======================================================
+8         magic ``b"CLEOESF1"``
+4         header length ``H``
+H         UTF-8 JSON header: run, version, data kind, created-at
+4         provenance line count ``P``
+P x       (4-byte length + UTF-8 line) — the accumulated version strings
+32        ASCII MD5 digest over the provenance lines
+4         event count ``E``
+E x       event record:
+            4   event number
+            2   ASU count ``A``
+            A x (2-byte name length + name, 4-byte payload length + payload)
+========  =======================================================
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import BinaryIO, Iterable, Iterator, List, Optional, Union
+
+from repro.core.errors import EventStoreError
+from repro.core.provenance import ProvenanceStamp
+from repro.eventstore.model import ASU, Event
+
+MAGIC = b"CLEOESF1"
+
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+
+
+def _write_u16(stream: BinaryIO, value: int) -> None:
+    if not 0 <= value <= 0xFFFF:
+        raise EventStoreError(f"u16 overflow: {value}")
+    stream.write(_U16.pack(value))
+
+
+def _write_u32(stream: BinaryIO, value: int) -> None:
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise EventStoreError(f"u32 overflow: {value}")
+    stream.write(_U32.pack(value))
+
+
+def _read_exact(stream: BinaryIO, n: int, what: str) -> bytes:
+    data = stream.read(n)
+    if len(data) != n:
+        raise EventStoreError(f"truncated event file while reading {what}")
+    return data
+
+
+def _read_u16(stream: BinaryIO, what: str) -> int:
+    return _U16.unpack(_read_exact(stream, 2, what))[0]
+
+
+def _read_u32(stream: BinaryIO, what: str) -> int:
+    return _U32.unpack(_read_exact(stream, 4, what))[0]
+
+
+@dataclass(frozen=True)
+class FileHeader:
+    """The JSON header of an event file."""
+
+    run_number: int
+    version: str
+    data_kind: str
+    created_at: float
+
+    def to_json(self) -> bytes:
+        return json.dumps(
+            {
+                "run": self.run_number,
+                "version": self.version,
+                "kind": self.data_kind,
+                "created": self.created_at,
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+
+    @classmethod
+    def from_json(cls, data: bytes) -> "FileHeader":
+        try:
+            parsed = json.loads(data.decode("utf-8"))
+            return cls(
+                run_number=int(parsed["run"]),
+                version=str(parsed["version"]),
+                data_kind=str(parsed["kind"]),
+                created_at=float(parsed["created"]),
+            )
+        except (ValueError, KeyError, UnicodeDecodeError) as exc:
+            raise EventStoreError(f"bad event-file header: {exc}") from exc
+
+
+def write_event_file(
+    path: Union[str, Path],
+    header: FileHeader,
+    events: Iterable[Event],
+    stamp: ProvenanceStamp,
+) -> int:
+    """Serialize events (and their provenance stamp) to ``path``.
+
+    Returns the number of events written.  Events must all belong to the
+    header's run.
+    """
+    events = list(events)
+    for event in events:
+        if event.run_number != header.run_number:
+            raise EventStoreError(
+                f"event from run {event.run_number} in file for run "
+                f"{header.run_number}"
+            )
+    path = Path(path)
+    with path.open("wb") as stream:
+        stream.write(MAGIC)
+        header_bytes = header.to_json()
+        _write_u32(stream, len(header_bytes))
+        stream.write(header_bytes)
+        _write_u32(stream, len(stamp.history))
+        for line in stamp.history:
+            encoded = line.encode("utf-8")
+            _write_u32(stream, len(encoded))
+            stream.write(encoded)
+        digest = stamp.digest.encode("ascii")
+        if len(digest) != 32:
+            raise EventStoreError("provenance digest must be a 32-char MD5 hex string")
+        stream.write(digest)
+        _write_u32(stream, len(events))
+        for event in events:
+            _write_u32(stream, event.event_number)
+            _write_u16(stream, len(event.asus))
+            for name in sorted(event.asus):
+                asu = event.asus[name]
+                encoded = name.encode("utf-8")
+                _write_u16(stream, len(encoded))
+                stream.write(encoded)
+                _write_u32(stream, len(asu.payload))
+                stream.write(asu.payload)
+    return len(events)
+
+
+@dataclass
+class EventFile:
+    """Parsed header + provenance of an event file, with lazy event access."""
+
+    path: Path
+    header: FileHeader
+    stamp: ProvenanceStamp
+    event_count: int
+    _events_offset: int
+
+    def events(self, asu_names: Optional[Iterable[str]] = None) -> Iterator[Event]:
+        """Stream events; optionally project to a subset of ASUs.
+
+        Projection still reads past unwanted payloads (this format is
+        row-major); the hot/warm/cold partitioning in
+        :mod:`repro.eventstore.partition` exists precisely because that
+        is expensive.
+        """
+        wanted = set(asu_names) if asu_names is not None else None
+        with self.path.open("rb") as stream:
+            stream.seek(self._events_offset)
+            for _ in range(self.event_count):
+                event_number = _read_u32(stream, "event number")
+                asu_count = _read_u16(stream, "ASU count")
+                asus = {}
+                for _ in range(asu_count):
+                    name_length = _read_u16(stream, "ASU name length")
+                    name = _read_exact(stream, name_length, "ASU name").decode("utf-8")
+                    payload_length = _read_u32(stream, "payload length")
+                    if wanted is None or name in wanted:
+                        payload = _read_exact(stream, payload_length, "payload")
+                        asus[name] = ASU(name=name, payload=payload)
+                    else:
+                        stream.seek(payload_length, 1)
+                yield Event(
+                    run_number=self.header.run_number,
+                    event_number=event_number,
+                    asus=asus,
+                )
+
+    def read_all(self) -> List[Event]:
+        return list(self.events())
+
+
+def open_event_file(path: Union[str, Path]) -> EventFile:
+    """Parse the header and provenance block; events stay on disk."""
+    path = Path(path)
+    with path.open("rb") as stream:
+        magic = stream.read(len(MAGIC))
+        if magic != MAGIC:
+            raise EventStoreError(f"{path} is not an event file (bad magic)")
+        header_length = _read_u32(stream, "header length")
+        header = FileHeader.from_json(_read_exact(stream, header_length, "header"))
+        line_count = _read_u32(stream, "provenance line count")
+        lines = []
+        for _ in range(line_count):
+            line_length = _read_u32(stream, "provenance line length")
+            raw_line = _read_exact(stream, line_length, "provenance line")
+            try:
+                lines.append(raw_line.decode("utf-8"))
+            except UnicodeDecodeError as exc:
+                raise EventStoreError(
+                    f"{path}: corrupt provenance line (digest check would fail): {exc}"
+                ) from exc
+        digest = _read_exact(stream, 32, "digest").decode("ascii")
+        stamp = ProvenanceStamp(history=tuple(lines), digest=digest)
+        if not stamp.matches(ProvenanceStamp(history=tuple(lines),
+                                             digest=ProvenanceStamp._digest_of(lines))):
+            raise EventStoreError(f"{path}: provenance digest does not match history")
+        event_count = _read_u32(stream, "event count")
+        offset = stream.tell()
+    return EventFile(
+        path=path,
+        header=header,
+        stamp=stamp,
+        event_count=event_count,
+        _events_offset=offset,
+    )

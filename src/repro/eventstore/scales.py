@@ -1,0 +1,64 @@
+"""The three EventStore sizes.
+
+"In order to support a variety of use cases, the CLEO EventStore comes in
+three sizes, tailored to the scale of the application: personal, group and
+collaboration.  The only user interface differences between the three
+sizes is the name of the software module loaded, which is also the first
+word of all EventStore commands."
+
+The classes below are exactly that: the same :class:`EventStore` behind
+three module names, plus the factory :func:`open_store`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.errors import EventStoreError
+from repro.eventstore.store import SCALES, EventStore
+
+
+class PersonalEventStore(EventStore):
+    """Self-contained store for one physicist's machine.
+
+    "The personal EventStore was originally meant to manage user-selected
+    subsets of the data on an external personal system such as a laptop or
+    desktop [...] making the personal EventStore self-contained [...] and
+    supporting completely disconnected operation."
+    """
+
+    def __init__(self, root: Union[str, Path], name: Optional[str] = None):
+        super().__init__(root, scale="personal", name=name)
+
+
+class GroupEventStore(EventStore):
+    """Shared store for one analysis group; grows by merge."""
+
+    def __init__(self, root: Union[str, Path], name: Optional[str] = None):
+        super().__init__(root, scale="group", name=name)
+
+
+class CollaborationEventStore(EventStore):
+    """The centrally managed repository; officers assign grades."""
+
+    def __init__(self, root: Union[str, Path], name: Optional[str] = None):
+        super().__init__(root, scale="collaboration", name=name)
+
+
+_SCALE_CLASSES = {
+    "personal": PersonalEventStore,
+    "group": GroupEventStore,
+    "collaboration": CollaborationEventStore,
+}
+
+
+def open_store(
+    root: Union[str, Path], scale: str = "personal", name: Optional[str] = None
+) -> EventStore:
+    """Open (or create) a store of the requested size."""
+    try:
+        cls = _SCALE_CLASSES[scale]
+    except KeyError:
+        raise EventStoreError(f"unknown scale {scale!r}; pick one of {SCALES}") from None
+    return cls(root, name=name)

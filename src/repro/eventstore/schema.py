@@ -1,0 +1,65 @@
+"""Relational schema of an EventStore.
+
+"Other metadata about the data are stored in a relational database
+supporting the standard SQL query language."  One schema serves all three
+store sizes; only the backend placement differs (embedded for personal,
+shared file for group/collaboration).
+"""
+
+from __future__ import annotations
+
+from repro.db.schema import Schema, column
+
+SCHEMA_VERSION = 1
+
+
+def eventstore_schema() -> Schema:
+    schema = Schema("eventstore", version=SCHEMA_VERSION)
+    schema.table(
+        "runs",
+        [
+            column("number", "INTEGER", "PRIMARY KEY"),
+            column("start_time", "REAL", "NOT NULL"),
+            column("duration_s", "REAL", "NOT NULL"),
+            column("event_count", "INTEGER", "NOT NULL"),
+            column("conditions", "TEXT", "NOT NULL DEFAULT '{}'"),
+        ],
+    )
+    schema.table(
+        "files",
+        [
+            column("id", "INTEGER", "PRIMARY KEY"),
+            column("path", "TEXT", "NOT NULL"),
+            column("run_number", "INTEGER", "NOT NULL REFERENCES runs(number)"),
+            column("version", "TEXT", "NOT NULL"),
+            column("kind", "TEXT", "NOT NULL"),
+            column("event_count", "INTEGER", "NOT NULL"),
+            column("size_bytes", "REAL", "NOT NULL"),
+            column("digest", "TEXT", "NOT NULL"),
+        ],
+        constraints=["UNIQUE(run_number, version, kind)"],
+        indexes=[("run_number",), ("version",), ("kind",)],
+    )
+    schema.table(
+        "grade_entries",
+        [
+            column("id", "INTEGER", "PRIMARY KEY"),
+            column("grade", "TEXT", "NOT NULL"),
+            column("timestamp", "REAL", "NOT NULL"),
+            column("run_key", "TEXT", "NOT NULL"),
+            column("version", "TEXT", "NOT NULL"),
+        ],
+        indexes=[("grade", "timestamp"), ("grade", "run_key")],
+    )
+    schema.table(
+        "merges",
+        [
+            column("id", "INTEGER", "PRIMARY KEY"),
+            column("source_name", "TEXT", "NOT NULL"),
+            column("merged_at", "REAL", "NOT NULL"),
+            column("files_added", "INTEGER", "NOT NULL"),
+            column("runs_added", "INTEGER", "NOT NULL"),
+            column("grade_entries_added", "INTEGER", "NOT NULL"),
+        ],
+    )
+    return schema

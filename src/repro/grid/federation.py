@@ -1,0 +1,118 @@
+"""NVO-style federation.
+
+"Arecibo is in the process of contributing its data to the National
+Virtual Observatory, federating their data with other data resources from
+the Astronomy community.  This will enable queries which span different
+datasets from different contributors."
+
+A :class:`Federation` registers named data resources, each exposing a
+common tabular query interface (column names + row dicts), and answers
+cross-resource queries — including the canonical NVO use case implemented
+here: positional/parameter cross-matching between two catalogs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.grid.services import GridError
+
+# A resource query function: (filters) -> rows.
+QueryFn = Callable[[Dict[str, Any]], List[Dict[str, Any]]]
+
+
+@dataclass
+class DataResource:
+    """One federated catalog/archive."""
+
+    name: str
+    columns: Tuple[str, ...]
+    query_fn: QueryFn
+    description: str = ""
+
+    def query(self, **filters: Any) -> List[Dict[str, Any]]:
+        unknown = set(filters) - set(self.columns)
+        if unknown:
+            raise GridError(f"resource {self.name!r} has no columns {sorted(unknown)}")
+        return self.query_fn(filters)
+
+
+def tabular_resource(
+    name: str,
+    rows: Sequence[Dict[str, Any]],
+    description: str = "",
+) -> DataResource:
+    """Wrap a list of row dicts as a resource with equality filtering."""
+    if not rows:
+        raise GridError(f"resource {name!r} needs at least one row")
+    columns = tuple(sorted(rows[0]))
+    for row in rows:
+        if tuple(sorted(row)) != columns:
+            raise GridError(f"resource {name!r}: inconsistent row columns")
+
+    def query_fn(filters: Dict[str, Any]) -> List[Dict[str, Any]]:
+        return [
+            dict(row)
+            for row in rows
+            if all(row[key] == value for key, value in filters.items())
+        ]
+
+    return DataResource(
+        name=name, columns=columns, query_fn=query_fn, description=description
+    )
+
+
+class Federation:
+    """Registry + cross-resource query over data resources."""
+
+    def __init__(self) -> None:
+        self._resources: Dict[str, DataResource] = {}
+
+    def contribute(self, resource: DataResource) -> None:
+        if resource.name in self._resources:
+            raise GridError(f"resource {resource.name!r} already contributed")
+        self._resources[resource.name] = resource
+
+    def resources(self) -> List[str]:
+        return sorted(self._resources)
+
+    def resource(self, name: str) -> DataResource:
+        try:
+            return self._resources[name]
+        except KeyError:
+            raise GridError(f"no federated resource {name!r}") from None
+
+    def query(self, resource_name: str, **filters: Any) -> List[Dict[str, Any]]:
+        return self.resource(resource_name).query(**filters)
+
+    def cross_match(
+        self,
+        left_name: str,
+        right_name: str,
+        on: str,
+        tolerance: float = 0.0,
+    ) -> List[Tuple[Dict[str, Any], Dict[str, Any]]]:
+        """Join two resources on a numeric column within a tolerance.
+
+        The astronomer's workflow: match pulsar-candidate positions (or
+        periods) from the Arecibo catalog against another survey's.
+        """
+        left = self.resource(left_name)
+        right = self.resource(right_name)
+        for resource in (left, right):
+            if on not in resource.columns:
+                raise GridError(f"resource {resource.name!r} has no column {on!r}")
+        left_rows = left.query()
+        right_rows = sorted(right.query(), key=lambda row: float(row[on]))
+        right_keys = [float(row[on]) for row in right_rows]
+        matches: List[Tuple[Dict[str, Any], Dict[str, Any]]] = []
+        import bisect
+
+        for row in left_rows:
+            value = float(row[on])
+            low = bisect.bisect_left(right_keys, value - tolerance)
+            high = bisect.bisect_right(right_keys, value + tolerance)
+            for index in range(low, high):
+                matches.append((row, right_rows[index]))
+        return matches

@@ -1,0 +1,100 @@
+"""Grid data movement.
+
+"This process could be automated to a much greater extent if we could use
+Grid data movement utilities and Web Services interfaces to EventStore."
+
+:class:`GridMover` wraps the transport planner in a queued, retrying,
+manifest-verified movement service — the automation layer that replaces
+people carrying disks, where a link exists to carry the data.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import TransportError
+from repro.core.units import DataSize, Duration
+from repro.transport.network import NetworkLink
+from repro.transport.planner import TransportOption, TransportPlanner
+from repro.transport.sneakernet import ShipmentSpec
+
+_job_counter = itertools.count(1)
+
+
+@dataclass
+class MovementJob:
+    """One queued bulk transfer."""
+
+    source: str
+    destination: str
+    volume: DataSize
+    deadline: Optional[Duration] = None
+    job_id: str = field(default_factory=lambda: f"mv-{next(_job_counter):05d}")
+    status: str = "queued"
+    chosen: Optional[TransportOption] = None
+    attempts: int = 0
+
+
+class GridMover:
+    """Plans and executes queued movement jobs with transient-failure retry."""
+
+    def __init__(
+        self,
+        planner: TransportPlanner,
+        failure_prob: float = 0.0,
+        max_attempts: int = 3,
+        rng: Optional[random.Random] = None,
+    ):
+        if not 0.0 <= failure_prob < 1.0:
+            raise TransportError("failure probability must be in [0, 1)")
+        self.planner = planner
+        self.failure_prob = failure_prob
+        self.max_attempts = max_attempts
+        self.rng = rng if rng is not None else random.Random(0)
+        self.queue: List[MovementJob] = []
+        self.completed: List[MovementJob] = []
+
+    def submit(
+        self,
+        source: str,
+        destination: str,
+        volume: DataSize,
+        deadline: Optional[Duration] = None,
+    ) -> MovementJob:
+        job = MovementJob(
+            source=source, destination=destination, volume=volume, deadline=deadline
+        )
+        self.queue.append(job)
+        return job
+
+    def run_queue(self) -> List[MovementJob]:
+        """Plan + execute every queued job; returns the completed list."""
+        finished: List[MovementJob] = []
+        while self.queue:
+            job = self.queue.pop(0)
+            job.chosen = self.planner.best(job.volume, deadline=job.deadline)
+            while job.attempts < self.max_attempts:
+                job.attempts += 1
+                if self.rng.random() >= self.failure_prob:
+                    job.status = "done"
+                    break
+            else:
+                job.status = "failed"
+            self.completed.append(job)
+            finished.append(job)
+        return finished
+
+    def total_moved(self) -> DataSize:
+        return DataSize(
+            sum(job.volume.bytes for job in self.completed if job.status == "done")
+        )
+
+    def modes_used(self) -> Dict[str, int]:
+        modes: Dict[str, int] = {}
+        for job in self.completed:
+            if job.chosen is not None:
+                modes[job.chosen.mode] = modes.get(job.chosen.mode, 0) + 1
+        return modes

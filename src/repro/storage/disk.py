@@ -1,0 +1,117 @@
+"""Disk pools: online random-access storage built from disk media.
+
+A :class:`DiskPool` fronts a set of :class:`~repro.storage.media.Medium`
+instances with first-fit placement, a flat namespace, and aggregate usage
+accounting.  It is the building block for HSM disk caches, the WebLab RAID
+store, and the staging areas at Arecibo and the CTC.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.errors import CapacityError, StorageError
+from repro.core.units import DataSize, Duration
+from repro.storage.media import MediaType, Medium, StoredFile, checksum_for
+
+
+class DiskPool:
+    """A named pool of disk media with first-fit file placement."""
+
+    def __init__(self, name: str, media_type: MediaType, count: int = 1):
+        if count <= 0:
+            raise StorageError("DiskPool needs at least one medium")
+        self.name = name
+        self.media_type = media_type
+        self._media: List[Medium] = [
+            Medium(media_type=media_type, label=f"{name}-{index}") for index in range(count)
+        ]
+        self._locations: Dict[str, Medium] = {}
+        self.total_write_time = Duration.zero()
+        self.total_read_time = Duration.zero()
+
+    # -- capacity ------------------------------------------------------------
+    @property
+    def capacity(self) -> DataSize:
+        return DataSize(sum(m.media_type.capacity.bytes for m in self._media if not m.failed))
+
+    @property
+    def used(self) -> DataSize:
+        return DataSize(sum(m.used.bytes for m in self._media if not m.failed))
+
+    @property
+    def free(self) -> DataSize:
+        return DataSize(max(0.0, self.capacity.bytes - self.used.bytes))
+
+    @property
+    def media(self) -> List[Medium]:
+        return list(self._media)
+
+    def add_media(self, count: int = 1) -> None:
+        """Grow the pool (the "room for growth when data rates increase" knob)."""
+        start = len(self._media)
+        for index in range(count):
+            self._media.append(
+                Medium(media_type=self.media_type, label=f"{self.name}-{start + index}")
+            )
+
+    # -- file operations -------------------------------------------------------
+    def write(self, name: str, size: DataSize, content_tag: str = "") -> StoredFile:
+        """Store a new file; first medium with room wins."""
+        if name in self._locations:
+            raise StorageError(f"pool {self.name!r} already holds {name!r}")
+        file = StoredFile(
+            name=name,
+            size=size,
+            checksum=checksum_for(name, size, content_tag),
+            content_tag=content_tag,
+        )
+        for medium in self._media:
+            if medium.failed or file.size.bytes > medium.free.bytes:
+                continue
+            self.total_write_time += medium.store(file)
+            self._locations[name] = medium
+            return file
+        raise CapacityError(
+            f"pool {self.name!r}: no medium has {size} free (pool free: {self.free})"
+        )
+
+    def read(self, name: str) -> StoredFile:
+        medium = self._require(name)
+        file = medium.fetch(name)
+        self.total_read_time += medium.media_type.read_time(file.size)
+        return file
+
+    def delete(self, name: str) -> StoredFile:
+        medium = self._require(name)
+        file = medium.remove(name)
+        del self._locations[name]
+        return file
+
+    def holds(self, name: str) -> bool:
+        return name in self._locations
+
+    def file_names(self) -> List[str]:
+        return sorted(self._locations)
+
+    def location_of(self, name: str) -> Medium:
+        return self._require(name)
+
+    def _require(self, name: str) -> Medium:
+        medium = self._locations.get(name)
+        if medium is None:
+            raise StorageError(f"pool {self.name!r} does not hold {name!r}")
+        if medium.failed:
+            raise StorageError(
+                f"pool {self.name!r}: medium holding {name!r} has failed"
+            )
+        return medium
+
+    def fail_medium(self, index: int) -> List[str]:
+        """Fail one medium; returns names of the files lost with it."""
+        medium = self._media[index]
+        medium.fail()
+        lost = [name for name, location in self._locations.items() if location is medium]
+        for name in lost:
+            del self._locations[name]
+        return sorted(lost)

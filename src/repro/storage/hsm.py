@@ -1,0 +1,127 @@
+"""Hierarchical storage management.
+
+CLEO's data "are stored in a hierarchical storage management (HSM) system
+(which automatically moves data between tape and disk cache)".  The model:
+a fixed-size disk cache in front of a robotic tape library, write-through
+archival, LRU eviction, and recall accounting — enough to quantify the cost
+of cold reads versus the hot/warm/cold partitioning studied in experiment C7.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.errors import CapacityError, StorageError
+from repro.core.units import DataSize, Duration
+from repro.storage.media import StoredFile
+from repro.storage.tape import RoboticTapeLibrary
+
+
+@dataclass
+class HsmStats:
+    """Cache behaviour counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    bytes_recalled: float = 0.0
+    recall_time: Duration = field(default_factory=Duration.zero)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class HierarchicalStore:
+    """Tape library + LRU disk cache, write-through.
+
+    ``store`` archives to tape and leaves a cached copy; ``read`` serves
+    from cache when possible and otherwise recalls from tape, evicting
+    least-recently-used cached files to make room.
+    """
+
+    def __init__(
+        self,
+        library: RoboticTapeLibrary,
+        cache_capacity: DataSize,
+    ):
+        if cache_capacity.bytes <= 0:
+            raise StorageError("HSM cache capacity must be positive")
+        self.library = library
+        self.cache_capacity = cache_capacity
+        self._cache: "OrderedDict[str, DataSize]" = OrderedDict()
+        self.stats = HsmStats()
+
+    # -- cache bookkeeping ---------------------------------------------------
+    @property
+    def cached_bytes(self) -> DataSize:
+        return DataSize(sum(size.bytes for size in self._cache.values()))
+
+    def cached_files(self) -> List[str]:
+        return list(self._cache)
+
+    def is_cached(self, name: str) -> bool:
+        return name in self._cache
+
+    def _make_room(self, size: DataSize) -> None:
+        if size.bytes > self.cache_capacity.bytes:
+            raise CapacityError(
+                f"file of {size} exceeds entire HSM cache ({self.cache_capacity})"
+            )
+        while self.cached_bytes.bytes + size.bytes > self.cache_capacity.bytes:
+            evicted_name, _ = self._cache.popitem(last=False)
+            self.stats.evictions += 1
+            del evicted_name
+
+    def _touch(self, name: str) -> None:
+        self._cache.move_to_end(name)
+
+    # -- operations ----------------------------------------------------------
+    def store(self, name: str, size: DataSize, content_tag: str = "") -> Duration:
+        """Archive a file (write-through) and cache it; returns elapsed time."""
+        elapsed = self.library.archive(name, size, content_tag)
+        self._make_room(size)
+        self._cache[name] = size
+        return elapsed
+
+    def read(self, name: str) -> Tuple[StoredFile, Duration]:
+        """Read a file, recalling from tape on a cache miss."""
+        if name in self._cache:
+            self.stats.hits += 1
+            self._touch(name)
+            # Cache reads are disk-speed; negligible next to tape recall in
+            # this model, but we still need the file object, which lives on
+            # tape (the cache stores no content in the simulation).
+            file, _ = self._peek_tape(name)
+            return file, Duration.zero()
+        self.stats.misses += 1
+        file, elapsed = self.library.recall(name)
+        self.stats.bytes_recalled += file.size.bytes
+        self.stats.recall_time += elapsed
+        self._make_room(file.size)
+        self._cache[name] = file.size
+        return file, elapsed
+
+    def _peek_tape(self, name: str) -> Tuple[StoredFile, Duration]:
+        """Fetch file metadata without charging a recall (cache-hit path)."""
+        cartridge = self.library._locations.get(name)  # noqa: SLF001 - same package
+        if cartridge is None:
+            raise StorageError(f"HSM cache/tape inconsistency for {name!r}")
+        return cartridge.fetch(name), Duration.zero()
+
+    def pin_set(self, names: List[str]) -> Duration:
+        """Pre-stage a working set into cache (batched, mount-efficient)."""
+        to_recall = [name for name in names if name not in self._cache]
+        if not to_recall:
+            return Duration.zero()
+        files, elapsed = self.library.recall_batch(to_recall)
+        for file in files:
+            self.stats.misses += 1
+            self.stats.bytes_recalled += file.size.bytes
+            self._make_room(file.size)
+            self._cache[file.name] = file.size
+        self.stats.recall_time += elapsed
+        return elapsed

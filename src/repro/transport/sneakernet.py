@@ -1,0 +1,211 @@
+"""Physical media shipment — the sneakernet.
+
+"We therefore have developed a system based on transport of physical ATA
+disks with raw data" (Arecibo) and "the simulation data are moved by
+shipping physical USB disk drives to Cornell" (CLEO).  The model accounts
+for everything the paper says makes this labour-intensive: copying data to
+media, packing/labelling, courier transit, read-back verification on
+arrival, and retransmission of damaged media.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.errors import TransportError
+from repro.core.resources import CostLedger, PersonnelModel
+from repro.core.units import DataSize, Duration, Rate
+from repro.storage.media import ATA_DISK_2005, MediaType, StoredFile, checksum_for
+from repro.transport.integrity import (
+    DeliveryReport,
+    Manifest,
+    damage_in_transit,
+    verify_delivery,
+)
+
+_shipment_counter = itertools.count(1)
+
+# Human handling per medium: label, log, pack on dispatch; unpack, log,
+# shelve on arrival.
+_HANDLING_MINUTES_PER_MEDIUM = 10.0
+# Fixed per-shipment paperwork and courier drop-off/pick-up.
+_HANDLING_MINUTES_PER_SHIPMENT = 45.0
+
+
+@dataclass(frozen=True)
+class ShipmentSpec:
+    """Parameters of a recurring shipping lane."""
+
+    name: str
+    media_type: MediaType = ATA_DISK_2005
+    transit_time: Duration = field(default_factory=lambda: Duration.days(3))
+    copy_stations: int = 4
+    shipping_cost_per_package: float = 120.0
+    media_per_package: int = 10
+    corruption_prob: float = 0.01
+    loss_prob: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.copy_stations <= 0:
+            raise TransportError("need at least one copy station")
+        if self.media_per_package <= 0:
+            raise TransportError("need at least one medium per package")
+
+    def media_needed(self, volume: DataSize) -> int:
+        return max(1, math.ceil(volume.bytes / self.media_type.capacity.bytes))
+
+    def copy_time(self, volume: DataSize) -> Duration:
+        """Time to write the outgoing media, using all copy stations."""
+        per_station = DataSize(volume.bytes / self.copy_stations)
+        return per_station / self.media_type.write_rate
+
+    def verify_time(self, volume: DataSize) -> Duration:
+        """Read-back checksum pass on arrival, same parallelism."""
+        per_station = DataSize(volume.bytes / self.copy_stations)
+        return per_station / self.media_type.read_rate
+
+    def handling_time(self, media_count: int) -> Duration:
+        packages = math.ceil(media_count / self.media_per_package)
+        return Duration.minutes(
+            _HANDLING_MINUTES_PER_MEDIUM * media_count
+            + _HANDLING_MINUTES_PER_SHIPMENT * packages
+        )
+
+    def one_way_time(self, volume: DataSize) -> Duration:
+        """Dispatch-to-verified elapsed time for one shipment of ``volume``."""
+        media_count = self.media_needed(volume)
+        return (
+            self.copy_time(volume)
+            + self.handling_time(media_count)
+            + self.transit_time
+            + self.verify_time(volume)
+        )
+
+    def effective_throughput(self, volume: DataSize) -> Rate:
+        """Volume over end-to-end elapsed time — the "bandwidth of a truck"."""
+        return Rate.per(volume, self.one_way_time(volume))
+
+    def pipelined_throughput(self, volume_per_shipment: DataSize) -> Rate:
+        """Steady-state rate when shipments overlap (one dispatched per cycle).
+
+        With shipments in flight continuously, throughput is bounded by the
+        slowest serial resource — the copy stations — not by transit time.
+        """
+        cycle = self.copy_time(volume_per_shipment) + self.handling_time(
+            self.media_needed(volume_per_shipment)
+        )
+        return Rate.per(volume_per_shipment, cycle)
+
+
+@dataclass
+class ShipmentResult:
+    """Outcome of executing one shipment, including retransmissions."""
+
+    shipment_id: str
+    volume: DataSize
+    media_used: int
+    attempts: int
+    elapsed: Duration
+    personnel_time: Duration
+    report: DeliveryReport
+    cost: float
+
+
+class ShippingLane:
+    """A recurring physical-transport operation between two sites."""
+
+    def __init__(
+        self,
+        spec: ShipmentSpec,
+        personnel: Optional[PersonnelModel] = None,
+        rng: Optional[random.Random] = None,
+    ):
+        self.spec = spec
+        self.personnel = personnel if personnel is not None else PersonnelModel()
+        self.rng = rng if rng is not None else random.Random(0)
+        self.ledger = CostLedger()
+
+    def _files_for(self, shipment_id: str, volume: DataSize) -> List[StoredFile]:
+        """Split a volume across media-sized files for manifest purposes."""
+        media_count = self.spec.media_needed(volume)
+        per_medium = DataSize(volume.bytes / media_count)
+        files = []
+        for index in range(media_count):
+            name = f"{shipment_id}-disk{index:03d}"
+            files.append(
+                StoredFile(name=name, size=per_medium, checksum=checksum_for(name, per_medium))
+            )
+        return files
+
+    def ship(self, volume: DataSize, max_attempts: int = 4) -> ShipmentResult:
+        """Execute a shipment, retransmitting damaged/lost media as needed."""
+        if volume.bytes <= 0:
+            raise TransportError("cannot ship an empty volume")
+        shipment_id = f"ship-{next(_shipment_counter):05d}"
+        outgoing = self._files_for(shipment_id, volume)
+        manifest = Manifest.for_files(shipment_id, outgoing)
+        media_count = len(outgoing)
+
+        elapsed = Duration.zero()
+        personnel_time = Duration.zero()
+        cost = 0.0
+        pending = list(outgoing)
+        received: List[StoredFile] = []
+        attempts = 0
+        report = DeliveryReport(shipment_id=shipment_id)
+
+        while pending:
+            attempts += 1
+            if attempts > max_attempts:
+                raise TransportError(
+                    f"shipment {shipment_id}: {len(pending)} media still bad "
+                    f"after {max_attempts} attempts"
+                )
+            batch_volume = DataSize(sum(file.size.bytes for file in pending))
+            handling = self.spec.handling_time(len(pending))
+            elapsed += (
+                self.spec.copy_time(batch_volume)
+                + handling
+                + self.spec.transit_time
+                + self.spec.verify_time(batch_volume)
+            )
+            personnel_time += handling
+            packages = math.ceil(len(pending) / self.spec.media_per_package)
+            cost += self.spec.shipping_cost_per_package * packages
+
+            arrived = damage_in_transit(
+                pending, self.spec.corruption_prob, self.spec.loss_prob, self.rng
+            )
+            good_names = {f.name for f in received}
+            received.extend(f for f in arrived if f.verify() and f.name not in good_names)
+            report = verify_delivery(manifest, received)
+            pending = [file for file in outgoing if file.name in report.needs_retransmission()]
+
+        personnel_cost = self.personnel.cost(personnel_time)
+        cost += personnel_cost
+        cost += self.spec.media_type.unit_cost * media_count  # media pool amortization
+        self.ledger.charge("shipping", cost - personnel_cost, shipment_id)
+        self.ledger.charge("personnel", personnel_cost, shipment_id)
+        return ShipmentResult(
+            shipment_id=shipment_id,
+            volume=volume,
+            media_used=media_count,
+            attempts=attempts,
+            elapsed=elapsed,
+            personnel_time=personnel_time,
+            report=report,
+            cost=cost,
+        )
+
+
+# Reference lanes from the paper.
+ARECIBO_TO_CTC = ShipmentSpec(
+    name="Arecibo -> CTC (ATA disks)",
+    media_type=ATA_DISK_2005,
+    transit_time=Duration.days(3),
+    copy_stations=4,
+)

@@ -1,0 +1,162 @@
+"""The ARC file format.
+
+"The Internet Archive stores Web pages in the ARC file format.  The pages
+are stored in the order received from the Web crawler and the entire file
+is compressed with gzip.  Each compressed ARC file is about 100 MB big."
+
+This implements the essential ARC v1 shape: a version block, then one
+record per page — a space-separated header line
+(``URL IP-address archive-date content-type archive-length``) followed by
+exactly ``archive-length`` bytes of content and a separating newline — the
+whole file gzip-compressed.
+"""
+
+from __future__ import annotations
+
+import gzip
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, List, Sequence, Union
+
+from repro.core.errors import WebLabError
+from repro.core.units import DataSize
+from repro.weblab.synthweb import PageRecord
+
+_VERSION_LINE = b"filedesc://synthetic.arc 0.0.0.0 19960101000000 text/plain 76\n"
+_VERSION_BODY = b"1 0 InternetArchive\nURL IP-address Archive-date Content-type Archive-length\n"
+
+
+def _archive_date(epoch: float) -> str:
+    """ARC dates are YYYYMMDDhhmmss; render deterministically from epoch."""
+    seconds = int(epoch)
+    days = seconds // 86400
+    rem = seconds % 86400
+    # Simplified proleptic rendering adequate for ordering and round-trips.
+    year = 1970 + days // 365
+    day_of_year = days % 365
+    month = min(12, day_of_year // 30 + 1)
+    day = min(28, day_of_year % 30 + 1)
+    return (
+        f"{year:04d}{month:02d}{day:02d}"
+        f"{rem // 3600:02d}{(rem % 3600) // 60:02d}{rem % 60:02d}"
+    )
+
+
+@dataclass(frozen=True)
+class ArcRecord:
+    """One page as stored in an ARC file."""
+
+    url: str
+    ip: str
+    archive_date: str
+    content_type: str
+    content: bytes
+
+    @classmethod
+    def from_page(cls, page: PageRecord) -> "ArcRecord":
+        return cls(
+            url=page.url,
+            ip=page.ip,
+            archive_date=_archive_date(page.fetched_at),
+            content_type=page.mime,
+            content=page.content.encode("utf-8"),
+        )
+
+    def header_line(self) -> bytes:
+        return (
+            f"{self.url} {self.ip} {self.archive_date} "
+            f"{self.content_type} {len(self.content)}\n"
+        ).encode("ascii")
+
+
+def write_arc(path: Union[str, Path], records: Sequence[ArcRecord]) -> DataSize:
+    """Write records to a gzip-compressed ARC file; returns compressed size."""
+    path = Path(path)
+    with gzip.open(path, "wb") as stream:
+        stream.write(_VERSION_LINE)
+        stream.write(_VERSION_BODY)
+        stream.write(b"\n")
+        for record in records:
+            if " " in record.url:
+                raise WebLabError(f"URL contains a space: {record.url!r}")
+            stream.write(record.header_line())
+            stream.write(record.content)
+            stream.write(b"\n")
+    return DataSize.from_bytes(float(path.stat().st_size))
+
+
+def read_arc(path: Union[str, Path]) -> Iterator[ArcRecord]:
+    """Stream records back out of a gzip-compressed ARC file."""
+    path = Path(path)
+    with gzip.open(path, "rb") as stream:
+        version_line = stream.readline()
+        if not version_line.startswith(b"filedesc://"):
+            raise WebLabError(f"{path} is not an ARC file (bad version block)")
+        # Skip the declared version body and its separating blank line.
+        declared = int(version_line.rsplit(b" ", 1)[1])
+        stream.read(declared)
+        stream.readline()
+        while True:
+            header = stream.readline()
+            if not header:
+                return
+            if header == b"\n":
+                continue
+            parts = header.decode("ascii", errors="replace").split()
+            if len(parts) != 5:
+                raise WebLabError(f"{path}: malformed ARC record header {header!r}")
+            url, ip, archive_date, content_type, length_text = parts
+            try:
+                length = int(length_text)
+            except ValueError as exc:
+                raise WebLabError(f"{path}: bad record length {length_text!r}") from exc
+            content = stream.read(length)
+            if len(content) != length:
+                raise WebLabError(f"{path}: truncated ARC record for {url}")
+            stream.readline()  # record separator
+            yield ArcRecord(
+                url=url,
+                ip=ip,
+                archive_date=archive_date,
+                content_type=content_type,
+                content=content,
+            )
+
+
+def pack_crawl(
+    pages: Sequence[PageRecord],
+    directory: Union[str, Path],
+    prefix: str,
+    target_file_bytes: int = 400_000,
+) -> List[Path]:
+    """Write a crawl's pages into ARC files of roughly the target size.
+
+    The real archive targets ~100 MB per compressed file; the default here
+    is laptop-scaled, but the splitting logic is the same: records are
+    packed in crawl order until the (uncompressed) payload passes the
+    target, then a new file begins.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths: List[Path] = []
+    buffer: List[ArcRecord] = []
+    buffered_bytes = 0
+
+    def flush() -> None:
+        nonlocal buffer, buffered_bytes
+        if not buffer:
+            return
+        path = directory / f"{prefix}-{len(paths):04d}.arc.gz"
+        write_arc(path, buffer)
+        paths.append(path)
+        buffer = []
+        buffered_bytes = 0
+
+    for page in pages:
+        record = ArcRecord.from_page(page)
+        buffer.append(record)
+        buffered_bytes += len(record.content)
+        if buffered_bytes >= target_file_bytes:
+            flush()
+    flush()
+    return paths

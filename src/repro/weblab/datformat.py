@@ -1,0 +1,115 @@
+"""The DAT metadata file format.
+
+"Corresponding to an ARC file, there is a metadata file in the DAT file
+format, also compressed with gzip.  It contains metadata for each page,
+such as URL, IP address, date and time crawled, and links from the page."
+
+One text record per page: a header line, one ``L <target>`` line per
+outlink, and a blank separator — gzip-compressed, matching its ARC file
+record for record (though the preload subsystem deliberately does not rely
+on processing the two together).
+"""
+
+from __future__ import annotations
+
+import gzip
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List, Sequence, Tuple, Union
+
+from repro.core.errors import WebLabError
+from repro.core.units import DataSize
+from repro.weblab.synthweb import PageRecord
+
+
+@dataclass(frozen=True)
+class DatRecord:
+    """Per-page metadata: identity plus outlinks."""
+
+    url: str
+    ip: str
+    fetched_at: float
+    outlinks: Tuple[str, ...]
+
+    @classmethod
+    def from_page(cls, page: PageRecord) -> "DatRecord":
+        return cls(
+            url=page.url,
+            ip=page.ip,
+            fetched_at=page.fetched_at,
+            outlinks=tuple(page.outlinks),
+        )
+
+
+def write_dat(path: Union[str, Path], records: Sequence[DatRecord]) -> DataSize:
+    """Write records to a gzip-compressed DAT file; returns compressed size."""
+    path = Path(path)
+    with gzip.open(path, "wb") as stream:
+        for record in records:
+            if " " in record.url:
+                raise WebLabError(f"URL contains a space: {record.url!r}")
+            stream.write(
+                f"P {record.url} {record.ip} {record.fetched_at:.0f}\n".encode("ascii")
+            )
+            for target in record.outlinks:
+                stream.write(f"L {target}\n".encode("ascii"))
+            stream.write(b"\n")
+    return DataSize.from_bytes(float(path.stat().st_size))
+
+
+def read_dat(path: Union[str, Path]) -> Iterator[DatRecord]:
+    """Stream records back out of a gzip-compressed DAT file."""
+    path = Path(path)
+    url = ip = None
+    fetched_at = 0.0
+    outlinks: List[str] = []
+    with gzip.open(path, "rt", encoding="ascii") as stream:
+        for line_number, line in enumerate(stream, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                if url is not None:
+                    yield DatRecord(
+                        url=url, ip=ip, fetched_at=fetched_at, outlinks=tuple(outlinks)
+                    )
+                url = ip = None
+                outlinks = []
+                continue
+            if line.startswith("P "):
+                parts = line.split()
+                if len(parts) != 4:
+                    raise WebLabError(f"{path}:{line_number}: malformed page line")
+                _, url, ip, fetched_text = parts
+                fetched_at = float(fetched_text)
+            elif line.startswith("L "):
+                if url is None:
+                    raise WebLabError(f"{path}:{line_number}: link before page")
+                outlinks.append(line[2:])
+            else:
+                raise WebLabError(f"{path}:{line_number}: unknown DAT line {line!r}")
+    if url is not None:
+        yield DatRecord(url=url, ip=ip, fetched_at=fetched_at, outlinks=tuple(outlinks))
+
+
+def pack_crawl_metadata(
+    pages: Sequence[PageRecord],
+    arc_paths: Sequence[Path],
+    directory: Union[str, Path],
+    prefix: str,
+) -> List[Path]:
+    """Write the DAT companions for a crawl, one per ARC file.
+
+    Splitting mirrors :func:`repro.weblab.arcformat.pack_crawl`: pages are
+    distributed in order across ``len(arc_paths)`` files.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    if not arc_paths:
+        raise WebLabError("no ARC files to pair DAT files with")
+    per_file = max(1, (len(pages) + len(arc_paths) - 1) // len(arc_paths))
+    paths: List[Path] = []
+    for index in range(len(arc_paths)):
+        chunk = pages[index * per_file : (index + 1) * per_file]
+        path = directory / f"{prefix}-{index:04d}.dat.gz"
+        write_dat(path, [DatRecord.from_page(page) for page in chunk])
+        paths.append(path)
+    return paths

@@ -1,0 +1,162 @@
+"""The WebLab relational metadata database.
+
+"The decision was made to separate link information and metadata about
+pages from their content, and store the meta-information in a relational
+database on a single high-performance computer."
+
+Tables: ``crawls`` (one per bimonthly pass), ``pages`` (one per url per
+crawl, pointing at the page store by content hash), and ``links`` (the Web
+graph's edges, per crawl).  Batch loading keeps transactions short; the
+tunable batch size is one of the preload parameters the paper says needs
+"extensive benchmarking".
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.errors import WebLabError
+from repro.core.units import DataSize
+from repro.db.connection import Database, connect
+from repro.db.query import Select
+from repro.db.schema import Schema, apply_schema, column
+
+
+def weblab_schema() -> Schema:
+    schema = Schema("weblab", version=1)
+    schema.table(
+        "crawls",
+        [
+            column("crawl_index", "INTEGER", "PRIMARY KEY"),
+            column("crawl_time", "REAL", "NOT NULL"),
+            column("page_count", "INTEGER", "NOT NULL DEFAULT 0"),
+        ],
+    )
+    schema.table(
+        "pages",
+        [
+            column("id", "INTEGER", "PRIMARY KEY"),
+            column("url", "TEXT", "NOT NULL"),
+            column("domain", "TEXT", "NOT NULL"),
+            column("tld", "TEXT", "NOT NULL"),
+            column("crawl_index", "INTEGER", "NOT NULL REFERENCES crawls(crawl_index)"),
+            column("fetched_at", "REAL", "NOT NULL"),
+            column("ip", "TEXT", "NOT NULL"),
+            column("mime", "TEXT", "NOT NULL"),
+            column("size_bytes", "INTEGER", "NOT NULL"),
+            column("content_hash", "TEXT", "NOT NULL"),
+        ],
+        constraints=["UNIQUE(url, crawl_index)"],
+        indexes=[("url", "fetched_at"), ("domain",), ("crawl_index",), ("tld",)],
+    )
+    schema.table(
+        "links",
+        [
+            column("id", "INTEGER", "PRIMARY KEY"),
+            column("crawl_index", "INTEGER", "NOT NULL"),
+            column("src_url", "TEXT", "NOT NULL"),
+            column("dst_url", "TEXT", "NOT NULL"),
+        ],
+        indexes=[("crawl_index", "src_url"), ("crawl_index", "dst_url")],
+    )
+    return schema
+
+
+class WebLabDatabase:
+    """Metadata + link store over the relational layer."""
+
+    def __init__(self, path: Optional[Union[str, Path]] = None):
+        self.db: Database = connect(path)
+        apply_schema(self.db, weblab_schema())
+
+    def close(self) -> None:
+        self.db.close()
+
+    def __enter__(self) -> "WebLabDatabase":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- loading ---------------------------------------------------------------
+    def register_crawl(self, crawl_index: int, crawl_time: float) -> None:
+        existing = self.db.query_one(
+            "SELECT crawl_time FROM crawls WHERE crawl_index = ?", (crawl_index,)
+        )
+        if existing is not None:
+            if existing["crawl_time"] != crawl_time:
+                raise WebLabError(f"crawl {crawl_index} already registered differently")
+            return
+        self.db.insert("crawls", crawl_index=crawl_index, crawl_time=crawl_time)
+
+    def load_page_batch(self, rows: Sequence[Dict[str, object]]) -> int:
+        """Load one metadata batch (one short transaction)."""
+        with self.db.transaction():
+            for row in rows:
+                self.db.insert("pages", **row)
+            if rows:
+                self.db.execute(
+                    "UPDATE crawls SET page_count = page_count + ? "
+                    "WHERE crawl_index = ?",
+                    (len(rows), rows[0]["crawl_index"]),
+                )
+        return len(rows)
+
+    def load_link_batch(self, rows: Sequence[Tuple[int, str, str]]) -> int:
+        with self.db.transaction():
+            for crawl_index, src_url, dst_url in rows:
+                self.db.insert(
+                    "links", crawl_index=crawl_index, src_url=src_url, dst_url=dst_url
+                )
+        return len(rows)
+
+    # -- queries ---------------------------------------------------------------
+    def crawl_indexes(self) -> List[int]:
+        return [
+            row["crawl_index"]
+            for row in self.db.query("SELECT crawl_index FROM crawls ORDER BY crawl_index")
+        ]
+
+    def page_count(self, crawl_index: Optional[int] = None) -> int:
+        if crawl_index is None:
+            return self.db.count("pages")
+        return self.db.count("pages", "crawl_index = ?", (crawl_index,))
+
+    def link_count(self, crawl_index: Optional[int] = None) -> int:
+        if crawl_index is None:
+            return self.db.count("links")
+        return self.db.count("links", "crawl_index = ?", (crawl_index,))
+
+    def page_as_of(self, url: str, as_of: float):
+        """Most recent capture of ``url`` at or before ``as_of`` (or None)."""
+        return (
+            Select("pages")
+            .where("url = ?", url)
+            .where("fetched_at <= ?", as_of)
+            .order_by("fetched_at DESC")
+            .limit(1)
+            .run_one(self.db)
+        )
+
+    def captures_of(self, url: str) -> List[float]:
+        rows = self.db.query(
+            "SELECT fetched_at FROM pages WHERE url = ? ORDER BY fetched_at", (url,)
+        )
+        return [row["fetched_at"] for row in rows]
+
+    def links_of_crawl(self, crawl_index: int) -> List[Tuple[str, str]]:
+        rows = self.db.query(
+            "SELECT src_url, dst_url FROM links WHERE crawl_index = ?", (crawl_index,)
+        )
+        return [(row["src_url"], row["dst_url"]) for row in rows]
+
+    def domains(self) -> List[str]:
+        return [
+            row["domain"]
+            for row in self.db.query("SELECT DISTINCT domain FROM pages ORDER BY domain")
+        ]
+
+    def total_content_size(self) -> DataSize:
+        value = self.db.query_value("SELECT coalesce(sum(size_bytes), 0) FROM pages")
+        return DataSize.from_bytes(float(value))

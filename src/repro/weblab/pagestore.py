@@ -1,0 +1,62 @@
+"""Page content store.
+
+"The preload subsystem [...] generates two types of output files: metadata
+for loading into a relational database and the actual content of the Web
+pages to be stored separately."  This is the *separately*: a
+content-addressed store on disk, keyed by the content hash that the
+metadata database records for each (url, crawl) pair.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import List, Union
+
+from repro.core.errors import WebLabError
+from repro.core.units import DataSize
+
+
+def content_hash(content: bytes) -> str:
+    return hashlib.sha1(content).hexdigest()
+
+
+class PageStore:
+    """Content-addressed blob store with two-level fan-out directories."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path_for(self, digest: str) -> Path:
+        if len(digest) < 4:
+            raise WebLabError(f"bad content hash {digest!r}")
+        return self.root / digest[:2] / digest[2:4] / digest
+
+    def put(self, content: bytes) -> str:
+        """Store content; returns its hash.  Duplicate content is stored once
+        (crawls re-fetch mostly unchanged pages, so this dedup is where the
+        archive's compression really comes from)."""
+        digest = content_hash(content)
+        path = self._path_for(digest)
+        if not path.exists():
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_bytes(content)
+        return digest
+
+    def get(self, digest: str) -> bytes:
+        path = self._path_for(digest)
+        if not path.exists():
+            raise WebLabError(f"page store has no content {digest!r}")
+        return path.read_bytes()
+
+    def __contains__(self, digest: str) -> bool:
+        return self._path_for(digest).exists()
+
+    def blob_count(self) -> int:
+        return sum(1 for path in self.root.glob("*/*/*") if path.is_file())
+
+    def total_size(self) -> DataSize:
+        return DataSize.from_bytes(
+            float(sum(path.stat().st_size for path in self.root.glob("*/*/*")))
+        )

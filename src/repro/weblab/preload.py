@@ -1,0 +1,198 @@
+"""The preload subsystem.
+
+"The preload subsystem takes the incoming ARC and DAT files, uncompresses
+them, parses them to extract relevant information, and generates two types
+of output files: metadata for loading into a relational database and the
+actual content of the Web pages to be stored separately.  The design of
+the subsystem does not require the corresponding ARC and DAT files to be
+processed together."
+
+Accordingly, :meth:`PreloadSubsystem.process_arc` and
+:meth:`~PreloadSubsystem.process_dat` are independent; :meth:`run` drives
+any mix of files through a parsing thread pool, batching database loads.
+``batch_size`` and ``workers`` are the tunables the paper earmarks for
+"extensive benchmarking" (experiment C9 sweeps them).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.errors import WebLabError
+from repro.core.units import DataSize, Duration, Rate
+from repro.weblab.arcformat import read_arc
+from repro.weblab.datformat import read_dat
+from repro.weblab.metadb import WebLabDatabase
+from repro.weblab.pagestore import PageStore
+
+
+@dataclass
+class PreloadStats:
+    """Throughput accounting for one preload run."""
+
+    arc_files: int = 0
+    dat_files: int = 0
+    pages: int = 0
+    links: int = 0
+    compressed_bytes: float = 0.0
+    content_bytes: float = 0.0
+    elapsed_s: float = 0.0
+
+    @property
+    def throughput(self) -> Rate:
+        if self.elapsed_s <= 0:
+            return Rate.zero()
+        return Rate.from_bytes_per_second(self.content_bytes / self.elapsed_s)
+
+    @property
+    def projected_daily(self) -> DataSize:
+        """Content volume one day of this throughput would preload."""
+        return self.throughput * Duration.days(1)
+
+
+@dataclass(frozen=True)
+class PreloadConfig:
+    """Tunables: database batch size and parser parallelism."""
+
+    batch_size: int = 200
+    workers: int = 2
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise WebLabError("batch size must be at least 1")
+        if self.workers < 1:
+            raise WebLabError("need at least one worker")
+
+
+class PreloadSubsystem:
+    """Parses ARC/DAT files into the metadata DB and the page store."""
+
+    def __init__(
+        self,
+        database: WebLabDatabase,
+        pagestore: PageStore,
+        config: Optional[PreloadConfig] = None,
+    ):
+        self.database = database
+        self.pagestore = pagestore
+        self.config = config if config is not None else PreloadConfig()
+        # The relational load is serialized; parsers run in parallel.
+        self._load_lock = threading.Lock()
+
+    # -- single-file paths -----------------------------------------------------
+    def process_arc(self, path: Union[str, Path], crawl_index: int) -> Tuple[int, float]:
+        """One ARC file: content → page store, metadata rows → database.
+
+        Returns (pages loaded, content bytes).
+        """
+        batch: List[Dict[str, object]] = []
+        pages = 0
+        content_bytes = 0.0
+
+        def flush() -> None:
+            nonlocal batch
+            if batch:
+                with self._load_lock:
+                    self.database.load_page_batch(batch)
+                batch = []
+
+        for record in read_arc(path):
+            digest = self.pagestore.put(record.content)
+            content_bytes += len(record.content)
+            domain = record.url.split("/")[2]
+            batch.append(
+                {
+                    "url": record.url,
+                    "domain": domain,
+                    "tld": domain.rsplit(".", 1)[-1],
+                    "crawl_index": crawl_index,
+                    "fetched_at": _epoch_of(record.archive_date),
+                    "ip": record.ip,
+                    "mime": record.content_type,
+                    "size_bytes": len(record.content),
+                    "content_hash": digest,
+                }
+            )
+            pages += 1
+            if len(batch) >= self.config.batch_size:
+                flush()
+        flush()
+        return pages, content_bytes
+
+    def process_dat(self, path: Union[str, Path], crawl_index: int) -> int:
+        """One DAT file: link rows → database.  Returns links loaded."""
+        batch: List[Tuple[int, str, str]] = []
+        links = 0
+
+        def flush() -> None:
+            nonlocal batch
+            if batch:
+                with self._load_lock:
+                    self.database.load_link_batch(batch)
+                batch = []
+
+        for record in read_dat(path):
+            for target in record.outlinks:
+                batch.append((crawl_index, record.url, target))
+                links += 1
+                if len(batch) >= self.config.batch_size:
+                    flush()
+        flush()
+        return links
+
+    # -- bulk run ---------------------------------------------------------------
+    def run(
+        self,
+        arc_paths: Sequence[Tuple[Union[str, Path], int]],
+        dat_paths: Sequence[Tuple[Union[str, Path], int]] = (),
+    ) -> PreloadStats:
+        """Preload a mixed set of (path, crawl_index) pairs in parallel."""
+        stats = PreloadStats()
+        crawl_indexes = {index for _, index in list(arc_paths) + list(dat_paths)}
+        for index in sorted(crawl_indexes):
+            # Registration is idempotent for matching times; preload callers
+            # register real times beforehand when they have them.
+            try:
+                self.database.register_crawl(index, float(index))
+            except WebLabError:
+                pass
+        start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=self.config.workers) as pool:
+            arc_futures = [
+                pool.submit(self.process_arc, path, index) for path, index in arc_paths
+            ]
+            dat_futures = [
+                pool.submit(self.process_dat, path, index) for path, index in dat_paths
+            ]
+            for future in arc_futures:
+                pages, content_bytes = future.result()
+                stats.pages += pages
+                stats.content_bytes += content_bytes
+            for future in dat_futures:
+                stats.links += future.result()
+        stats.elapsed_s = time.perf_counter() - start
+        stats.arc_files = len(arc_paths)
+        stats.dat_files = len(dat_paths)
+        stats.compressed_bytes = float(
+            sum(Path(path).stat().st_size for path, _ in list(arc_paths) + list(dat_paths))
+        )
+        return stats
+
+
+def _epoch_of(archive_date: str) -> float:
+    """Invert the simplified ARC date rendering to epoch seconds."""
+    if len(archive_date) != 14 or not archive_date.isdigit():
+        raise WebLabError(f"bad ARC date {archive_date!r}")
+    year = int(archive_date[0:4])
+    month = int(archive_date[4:6])
+    day = int(archive_date[6:8])
+    hour = int(archive_date[8:10])
+    minute = int(archive_date[10:12])
+    second = int(archive_date[12:14])
+    days = (year - 1970) * 365 + (month - 1) * 30 + (day - 1)
+    return days * 86400.0 + hour * 3600.0 + minute * 60.0 + second

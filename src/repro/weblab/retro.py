@@ -1,0 +1,90 @@
+"""The Retro Browser.
+
+"General services provided include a Retro Browser to browse the Web as it
+was at a certain date" — resolve a URL to its most recent capture at or
+before the requested date, serve the archived content from the page store,
+and rewrite outlinks so navigation stays inside the chosen time slice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.errors import WebLabError
+from repro.weblab.metadb import WebLabDatabase
+from repro.weblab.pagestore import PageStore
+
+
+@dataclass(frozen=True)
+class RetroPage:
+    """One archived page as served by the retro browser."""
+
+    url: str
+    as_of: float
+    fetched_at: float
+    crawl_index: int
+    content: bytes
+    outlinks: Tuple[str, ...]
+
+    @property
+    def text(self) -> str:
+        return self.content.decode("utf-8", errors="replace")
+
+
+class RetroBrowser:
+    """Date-pinned navigation over the archive.
+
+    The resolution rule is the same most-recent-prior rule the EventStore
+    uses for grades — the paper's three projects converge on timestamp-
+    pinned consistency from different directions.
+    """
+
+    def __init__(self, database: WebLabDatabase, pagestore: PageStore):
+        self.database = database
+        self.pagestore = pagestore
+
+    def get(self, url: str, as_of: float) -> RetroPage:
+        """The page as it was at ``as_of``; raises if never captured by then."""
+        row = self.database.page_as_of(url, as_of)
+        if row is None:
+            raise WebLabError(f"no capture of {url!r} at or before {as_of}")
+        content = self.pagestore.get(row["content_hash"])
+        outlinks = [
+            dst
+            for _, dst in self.database.db.query(
+                "SELECT src_url, dst_url FROM links "
+                "WHERE crawl_index = ? AND src_url = ?",
+                (row["crawl_index"], url),
+            )
+        ]
+        return RetroPage(
+            url=url,
+            as_of=as_of,
+            fetched_at=row["fetched_at"],
+            crawl_index=row["crawl_index"],
+            content=content,
+            outlinks=tuple(outlinks),
+        )
+
+    def navigate(self, url: str, as_of: float, link_index: int) -> RetroPage:
+        """Follow the n-th outlink, staying pinned at the same date."""
+        page = self.get(url, as_of)
+        if not 0 <= link_index < len(page.outlinks):
+            raise WebLabError(
+                f"{url!r} has {len(page.outlinks)} outlinks; no index {link_index}"
+            )
+        return self.get(page.outlinks[link_index], as_of)
+
+    def history(self, url: str) -> List[float]:
+        """All capture times of a URL, oldest first (the time-slice axis)."""
+        return self.database.captures_of(url)
+
+    def diff_times(self, url: str) -> List[Tuple[float, str]]:
+        """(capture time, content hash) pairs — where the page changed."""
+        rows = self.database.db.query(
+            "SELECT fetched_at, content_hash FROM pages WHERE url = ? "
+            "ORDER BY fetched_at",
+            (url,),
+        )
+        return [(row["fetched_at"], row["content_hash"]) for row in rows]

@@ -1,0 +1,101 @@
+"""Inverted full-text index.
+
+"Of the specific tools that researchers want, full text indexes are highly
+important, but need not cover the entire Web."  The index is built over a
+*subset* (a crawl, a domain slice), exactly as the paper anticipates, and
+supports conjunctive queries with tf scoring.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.errors import WebLabError
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+_STOPWORDS = frozenset(
+    "the of and to in a is that for it on as with was at by an be this are".split()
+)
+
+
+def tokenize(text: str) -> List[str]:
+    return _TOKEN_RE.findall(text.lower())
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    url: str
+    score: float
+
+
+class TextIndex:
+    """An in-memory inverted index over (url, text) documents."""
+
+    def __init__(self, stopwords: frozenset = _STOPWORDS):
+        self._postings: Dict[str, Dict[str, int]] = {}
+        self._doc_lengths: Dict[str, int] = {}
+        self._stopwords = stopwords
+
+    def __len__(self) -> int:
+        return len(self._doc_lengths)
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._postings)
+
+    def add(self, url: str, text: str) -> None:
+        """Index one document; re-adding a URL replaces its old content."""
+        if url in self._doc_lengths:
+            self.remove(url)
+        tokens = [t for t in tokenize(text) if t not in self._stopwords]
+        self._doc_lengths[url] = len(tokens)
+        for token, count in Counter(tokens).items():
+            self._postings.setdefault(token, {})[url] = count
+
+    def remove(self, url: str) -> None:
+        if url not in self._doc_lengths:
+            raise WebLabError(f"index has no document {url!r}")
+        del self._doc_lengths[url]
+        empty_terms = []
+        for term, postings in self._postings.items():
+            postings.pop(url, None)
+            if not postings:
+                empty_terms.append(term)
+        for term in empty_terms:
+            del self._postings[term]
+
+    def document_frequency(self, term: str) -> int:
+        return len(self._postings.get(term.lower(), {}))
+
+    def search(self, query: str, limit: int = 10) -> List[SearchHit]:
+        """Conjunctive (AND) search, scored by summed term frequency
+        normalized by document length."""
+        terms = [t for t in tokenize(query) if t not in self._stopwords]
+        if not terms:
+            raise WebLabError("query has no searchable terms")
+        candidate_sets: List[Set[str]] = []
+        for term in terms:
+            postings = self._postings.get(term)
+            if not postings:
+                return []
+            candidate_sets.append(set(postings))
+        candidates = set.intersection(*candidate_sets)
+        hits = []
+        for url in candidates:
+            length = max(self._doc_lengths[url], 1)
+            score = sum(self._postings[term][url] for term in terms) / length
+            hits.append(SearchHit(url=url, score=score))
+        hits.sort(key=lambda hit: (-hit.score, hit.url))
+        return hits[:limit]
+
+
+def build_index(documents: Iterable[Tuple[str, str]]) -> TextIndex:
+    """Index (url, text) pairs."""
+    index = TextIndex()
+    for url, text in documents:
+        index.add(url, text)
+    return index

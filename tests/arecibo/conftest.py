@@ -1,0 +1,34 @@
+"""Shared fixtures for Arecibo tests: small observations with known truth."""
+
+import numpy as np
+import pytest
+
+from repro.arecibo.sky import N_BEAMS, Pointing, Pulsar
+from repro.arecibo.telescope import ObservationConfig, ObservationSimulator
+
+
+SMALL_CONFIG = ObservationConfig(n_channels=48, n_samples=4096)
+
+
+def single_pulsar_pointing(pulsar, beam=2, rfi=(), pointing_id=0):
+    return Pointing(
+        pointing_id=pointing_id,
+        pulsars_by_beam=tuple(
+            (pulsar,) if index == beam else () for index in range(N_BEAMS)
+        ),
+        transients_by_beam=tuple(() for _ in range(N_BEAMS)),
+        rfi=tuple(rfi),
+    )
+
+
+@pytest.fixture(scope="session")
+def bright_pulsar():
+    return Pulsar(name="PSR_TEST", period_s=0.1, dm=50.0, snr=15.0, duty_cycle=0.05)
+
+
+@pytest.fixture(scope="session")
+def pulsar_observation(bright_pulsar):
+    """The 7 beams of a pointing containing one bright pulsar in beam 2."""
+    simulator = ObservationSimulator(SMALL_CONFIG)
+    pointing = single_pulsar_pointing(bright_pulsar, beam=2)
+    return simulator.observe(pointing, seed=1)

@@ -1,0 +1,111 @@
+"""Tests for the NVO VOTable export and federation bridge."""
+
+import pytest
+
+from repro.arecibo.candidates import SiftedCandidate
+from repro.arecibo.metaanalysis import CandidateDatabase
+from repro.arecibo.nvo import contribute_to_nvo, export_votable, parse_votable
+from repro.core.errors import SearchError
+from repro.grid.federation import Federation, tabular_resource
+
+
+def populated_db():
+    db = CandidateDatabase(version="search_v2")
+    candidates = [
+        SiftedCandidate(period_s=0.0327, freq_hz=30.58, snr=22.0, dm=26.0,
+                        n_harmonics=2, n_dm_hits=40, pointing_id=1, beam=1),
+        SiftedCandidate(period_s=0.1470, freq_hz=6.80, snr=17.0, dm=13.5,
+                        n_harmonics=1, n_dm_hits=80, pointing_id=3, beam=5),
+        SiftedCandidate(period_s=0.1234, freq_hz=8.10, snr=12.0, dm=0.2,
+                        n_harmonics=1, n_dm_hits=60, pointing_id=0, beam=0),
+    ]
+    db.add_candidates(candidates)
+    db.cull_widespread()  # 8.10 Hz at DM 0.2 -> terrestrial
+    return db
+
+
+class TestVotableExport:
+    def test_round_trip(self, tmp_path):
+        db = populated_db()
+        path = tmp_path / "palfa.vot.xml"
+        count = export_votable(db, path)
+        db.close()
+        assert count == 2  # only astrophysical rows published
+        rows = parse_votable(path)
+        assert len(rows) == 2
+        by_freq = {round(row["freq_hz"], 2): row for row in rows}
+        assert by_freq[30.58]["dm"] == pytest.approx(26.0)
+        assert by_freq[30.58]["pointing_id"] == 1
+        assert by_freq[30.58]["classification"] == "astrophysical"
+        assert by_freq[30.58]["version"] == "search_v2"
+        assert isinstance(by_freq[30.58]["name"], str)
+
+    def test_export_all_classifications(self, tmp_path):
+        db = populated_db()
+        path = tmp_path / "all.vot.xml"
+        count = export_votable(db, path, classification=None)
+        db.close()
+        assert count == 3
+
+    def test_file_is_valid_xml_with_fields(self, tmp_path):
+        import xml.etree.ElementTree as ET
+
+        db = populated_db()
+        path = tmp_path / "palfa.vot.xml"
+        export_votable(db, path)
+        db.close()
+        root = ET.parse(path).getroot()
+        assert root.tag == "VOTABLE"
+        fields = root.findall("./RESOURCE/TABLE/FIELD")
+        assert [f.get("name") for f in fields][:3] == ["name", "pointing_id", "beam"]
+        assert {f.get("datatype") for f in fields} == {"char", "int", "double"}
+
+    def test_parse_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<NOTVOTABLE/>")
+        with pytest.raises(SearchError, match="VOTABLE"):
+            parse_votable(bad)
+        malformed = tmp_path / "malformed.xml"
+        malformed.write_text("<VOTABLE><unclosed>")
+        with pytest.raises(SearchError, match="well-formed"):
+            parse_votable(malformed)
+
+    def test_parse_rejects_missing_table(self, tmp_path):
+        path = tmp_path / "empty.xml"
+        path.write_text("<VOTABLE><RESOURCE/></VOTABLE>")
+        with pytest.raises(SearchError, match="TABLE"):
+            parse_votable(path)
+
+
+class TestFederationBridge:
+    def test_contribute_and_cross_match(self, tmp_path):
+        db = populated_db()
+        path = tmp_path / "palfa.vot.xml"
+        export_votable(db, path)
+        db.close()
+
+        federation = Federation()
+        resource = contribute_to_nvo(federation, path)
+        assert resource.name in federation.resources()
+
+        # Another survey's catalog shares one period.
+        federation.contribute(
+            tabular_resource(
+                "parkes",
+                [{"name": "J1903", "period_s": 0.0327, "dm": 25.8}],
+            )
+        )
+        matches = federation.cross_match(
+            "arecibo-palfa", "parkes", on="period_s", tolerance=0.0005
+        )
+        assert len(matches) == 1
+        left, right = matches[0]
+        assert right["name"] == "J1903"
+
+    def test_empty_votable_rejected(self, tmp_path):
+        db = CandidateDatabase()
+        path = tmp_path / "empty.vot.xml"
+        export_votable(db, path)
+        db.close()
+        with pytest.raises(SearchError, match="no rows"):
+            contribute_to_nvo(Federation(), path)

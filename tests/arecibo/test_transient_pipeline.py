@@ -1,0 +1,67 @@
+"""Tests for the transient (single-pulse) path through the Figure-1 pipeline."""
+
+import pytest
+
+from repro.arecibo.metaanalysis import CandidateDatabase
+from repro.arecibo.pipeline import AreciboPipelineConfig, run_arecibo_pipeline
+from repro.arecibo.singlepulse import SinglePulseEvent
+from repro.arecibo.sky import SkyModel
+from repro.arecibo.telescope import ObservationConfig
+
+
+@pytest.fixture(scope="module")
+def transient_report(tmp_path_factory):
+    config = AreciboPipelineConfig(
+        n_pointings=4,
+        observation=ObservationConfig(n_channels=48, n_samples=4096),
+        sky=SkyModel(
+            seed=41,
+            pulsar_fraction=0.3,
+            binary_fraction=0.0,
+            transient_rate=0.8,
+            period_range_s=(0.03, 0.12),
+            snr_range=(15.0, 30.0),
+        ),
+    )
+    return run_arecibo_pipeline(tmp_path_factory.mktemp("transients"), config)
+
+
+class TestTransientPipeline:
+    def test_injected_transients_recovered(self, transient_report):
+        score = transient_report.score
+        assert score.transients_injected >= 2
+        assert score.transient_recall >= 0.5
+        assert transient_report.transient_count >= score.transients_recovered
+
+    def test_transient_false_load_bounded(self, transient_report):
+        """Stored events beyond the injected ones stay a small residue."""
+        extra = (
+            transient_report.transient_count
+            - transient_report.score.transients_recovered
+        )
+        per_pointing = extra / transient_report.config.n_pointings
+        assert per_pointing <= 4
+
+    def test_transient_db_rows(self, tmp_path_factory):
+        db = CandidateDatabase()
+        events = [
+            SinglePulseEvent(time_s=1.0, width_s=0.004, snr=12.0, dm=30.0),
+            SinglePulseEvent(time_s=1.7, width_s=0.002, snr=9.0, dm=28.0),
+        ]
+        assert db.add_transients(events, pointing_id=3, beam=2) == 2
+        rows = db.transients()
+        assert len(rows) == 2
+        assert rows[0]["snr"] == 12.0  # strongest first
+        assert db.transients(pointing_id=99) == []
+        assert len(db.transients(pointing_id=3)) == 2
+        db.close()
+
+    def test_transient_recall_property_when_none_injected(self, tmp_path):
+        config = AreciboPipelineConfig(
+            n_pointings=2,
+            observation=ObservationConfig(n_channels=32, n_samples=2048),
+            sky=SkyModel(seed=44, pulsar_fraction=0.0, transient_rate=0.0),
+        )
+        report = run_arecibo_pipeline(tmp_path, config)
+        assert report.score.transients_injected == 0
+        assert report.score.transient_recall == 1.0

@@ -1,0 +1,99 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.core.simulation import SimulationError, Simulator
+from repro.core.units import Duration
+
+
+class TestSimulator:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now.seconds == 0
+
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(Duration.from_seconds(30), lambda: order.append("b"))
+        sim.schedule(Duration.from_seconds(10), lambda: order.append("a"))
+        sim.schedule(Duration.from_seconds(50), lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.now.seconds == 50
+
+    def test_ties_break_fifo(self):
+        sim = Simulator()
+        order = []
+        for label in ("first", "second", "third"):
+            sim.schedule(Duration.from_seconds(10), lambda lbl=label: order.append(lbl))
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        seen = []
+
+        def chained():
+            seen.append(sim.now_seconds)
+            if len(seen) < 3:
+                sim.schedule(Duration.from_seconds(5), chained)
+
+        sim.schedule(Duration.from_seconds(5), chained)
+        sim.run()
+        assert seen == [5, 10, 15]
+
+    def test_run_until_pauses_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(Duration.from_seconds(100), lambda: fired.append(True))
+        sim.run(until=Duration.from_seconds(50))
+        assert not fired
+        assert sim.now.seconds == 50
+        sim.run()
+        assert fired
+        assert sim.now.seconds == 100
+
+    def test_run_until_with_no_events_advances_clock(self):
+        sim = Simulator()
+        sim.run(until=Duration.hours(1))
+        assert sim.now.hours_ == 1
+
+    def test_run_until_in_past_raises(self):
+        sim = Simulator()
+        sim.schedule(Duration.from_seconds(10), lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.run(until=Duration.from_seconds(5))
+
+    def test_scheduling_into_past_raises(self):
+        sim = Simulator()
+        sim.schedule(Duration.from_seconds(10), lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(Duration.from_seconds(5), lambda: None)
+
+    def test_cancel(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(Duration.from_seconds(10), lambda: fired.append(True))
+        sim.cancel(event)
+        sim.run()
+        assert not fired
+
+    def test_pending_counts_only_live_events(self):
+        sim = Simulator()
+        keep = sim.schedule(Duration.from_seconds(1), lambda: None)
+        drop = sim.schedule(Duration.from_seconds(2), lambda: None)
+        sim.cancel(drop)
+        assert sim.pending() == 1
+        del keep
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_event_log(self):
+        sim = Simulator(log_events=True)
+        sim.schedule(Duration.from_seconds(1), lambda: None, label="ship disks")
+        sim.schedule(Duration.from_seconds(2), lambda: None, label="verify")
+        sim.run()
+        assert sim.log is not None
+        assert sim.log.labels() == ["ship disks", "verify"]

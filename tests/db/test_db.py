@@ -1,0 +1,208 @@
+"""Tests for the relational layer (connection, schema, query builder)."""
+
+import pytest
+
+from repro.core.errors import DatabaseError
+from repro.db import (
+    Schema,
+    Select,
+    SqliteBackend,
+    apply_schema,
+    applied_version,
+    column,
+    connect,
+    rows_to_dicts,
+)
+
+
+@pytest.fixture()
+def db():
+    backend = connect()
+    yield backend
+    backend.close()
+
+
+def pages_schema(version=1):
+    schema = Schema("pages", version=version)
+    schema.table(
+        "pages",
+        [
+            column("id", "INTEGER", "PRIMARY KEY"),
+            column("url", "TEXT", "NOT NULL"),
+            column("domain", "TEXT", "NOT NULL"),
+            column("fetched_at", "REAL", "NOT NULL"),
+        ],
+        indexes=[("domain",), ("url", "fetched_at")],
+    )
+    return schema
+
+
+class TestConnection:
+    def test_in_memory_roundtrip(self, db):
+        db.execute("CREATE TABLE t (x INTEGER)")
+        db.insert("t", x=42)
+        assert db.query_value("SELECT x FROM t") == 42
+
+    def test_file_backed(self, tmp_path):
+        path = tmp_path / "store.db"
+        with connect(path) as db:
+            db.execute("CREATE TABLE t (x INTEGER)")
+            db.insert("t", x=1)
+        with connect(path) as db:
+            assert db.query_value("SELECT x FROM t") == 1
+
+    def test_closed_database_rejects_use(self, tmp_path):
+        db = connect(tmp_path / "x.db")
+        db.close()
+        with pytest.raises(DatabaseError, match="closed"):
+            db.query("SELECT 1")
+
+    def test_sql_error_wrapped(self, db):
+        with pytest.raises(DatabaseError):
+            db.query("SELECT * FROM nonexistent")
+
+    def test_query_one(self, db):
+        db.execute("CREATE TABLE t (x INTEGER)")
+        assert db.query_one("SELECT x FROM t") is None
+        db.insert("t", x=1)
+        assert db.query_one("SELECT x FROM t")["x"] == 1
+        db.insert("t", x=2)
+        with pytest.raises(DatabaseError, match="multiple"):
+            db.query_one("SELECT x FROM t")
+
+    def test_insert_requires_values(self, db):
+        with pytest.raises(DatabaseError):
+            db.insert("t")
+
+    def test_executemany_counts(self, db):
+        db.execute("CREATE TABLE t (x INTEGER)")
+        n = db.executemany("INSERT INTO t (x) VALUES (?)", [(i,) for i in range(5)])
+        assert n == 5
+        assert db.count("t") == 5
+
+    def test_count_with_where(self, db):
+        db.execute("CREATE TABLE t (x INTEGER)")
+        db.executemany("INSERT INTO t (x) VALUES (?)", [(i,) for i in range(10)])
+        assert db.count("t", "x >= ?", (5,)) == 5
+
+    def test_transaction_commits(self, db):
+        db.execute("CREATE TABLE t (x INTEGER)")
+        with db.transaction():
+            db.insert("t", x=1)
+        assert db.count("t") == 1
+
+    def test_transaction_rolls_back_on_error(self, db):
+        db.execute("CREATE TABLE t (x INTEGER)")
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.insert("t", x=1)
+                raise RuntimeError("abort")
+        assert db.count("t") == 0
+
+    def test_nested_transaction_rejected(self, db):
+        with pytest.raises(DatabaseError, match="nested"):
+            with db.transaction():
+                with db.transaction():
+                    pass
+
+    def test_table_names_and_exists(self, db):
+        db.execute("CREATE TABLE zebra (x INTEGER)")
+        db.execute("CREATE TABLE aardvark (x INTEGER)")
+        assert db.table_exists("zebra")
+        assert not db.table_exists("lion")
+        assert db.table_names() == ["aardvark", "zebra"]
+
+
+class TestSchema:
+    def test_apply_creates_tables_and_indexes(self, db):
+        apply_schema(db, pages_schema())
+        assert db.table_exists("pages")
+        index_names = [
+            row["name"]
+            for row in db.query("SELECT name FROM sqlite_master WHERE type = 'index'")
+        ]
+        assert "idx_pages_domain" in index_names
+        assert "idx_pages_url_fetched_at" in index_names
+
+    def test_apply_is_idempotent(self, db):
+        apply_schema(db, pages_schema())
+        apply_schema(db, pages_schema())
+        assert applied_version(db, "pages") == 1
+
+    def test_version_upgrades(self, db):
+        apply_schema(db, pages_schema(version=1))
+        apply_schema(db, pages_schema(version=2))
+        assert applied_version(db, "pages") == 2
+
+    def test_downgrade_refused(self, db):
+        apply_schema(db, pages_schema(version=3))
+        with pytest.raises(DatabaseError, match="v3"):
+            apply_schema(db, pages_schema(version=2))
+
+    def test_duplicate_table_rejected(self):
+        schema = pages_schema()
+        with pytest.raises(DatabaseError):
+            schema.table("pages", [column("x")])
+
+    def test_never_applied_version_is_zero(self, db):
+        assert applied_version(db, "whatever") == 0
+
+
+class TestSelect:
+    @pytest.fixture()
+    def loaded(self, db):
+        apply_schema(db, pages_schema())
+        rows = [
+            ("http://a.edu/1", "a.edu", 10.0),
+            ("http://a.edu/2", "a.edu", 20.0),
+            ("http://b.com/1", "b.com", 15.0),
+            ("http://c.org/1", "c.org", 30.0),
+        ]
+        db.executemany(
+            "INSERT INTO pages (url, domain, fetched_at) VALUES (?, ?, ?)", rows
+        )
+        return db
+
+    def test_where_chaining(self, loaded):
+        rows = (
+            Select("pages", ["url"])
+            .where("domain = ?", "a.edu")
+            .where("fetched_at >= ?", 15.0)
+            .run(loaded)
+        )
+        assert [row["url"] for row in rows] == ["http://a.edu/2"]
+
+    def test_where_in(self, loaded):
+        rows = Select("pages", ["url"]).where_in("domain", ["a.edu", "b.com"]).run(loaded)
+        assert len(rows) == 3
+
+    def test_where_in_empty_matches_nothing(self, loaded):
+        assert Select("pages").where_in("domain", []).run(loaded) == []
+
+    def test_order_and_limit(self, loaded):
+        rows = Select("pages", ["url"]).order_by("fetched_at DESC").limit(2).run(loaded)
+        assert [row["url"] for row in rows] == ["http://c.org/1", "http://a.edu/2"]
+
+    def test_group_by(self, loaded):
+        rows = (
+            Select("pages", ["domain", "count(*) AS n"])
+            .group_by("domain")
+            .order_by("domain")
+            .run(loaded)
+        )
+        assert rows_to_dicts(rows) == [
+            {"domain": "a.edu", "n": 2},
+            {"domain": "b.com", "n": 1},
+            {"domain": "c.org", "n": 1},
+        ]
+
+    def test_count(self, loaded):
+        assert Select("pages").where("fetched_at > ?", 12.0).count(loaded) == 3
+
+    def test_run_one(self, loaded):
+        row = Select("pages", ["url"]).where("domain = ?", "b.com").run_one(loaded)
+        assert row["url"] == "http://b.com/1"
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(DatabaseError):
+            Select("pages").limit(-1)

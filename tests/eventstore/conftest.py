@@ -1,0 +1,38 @@
+"""Shared fixtures for EventStore tests."""
+
+import random
+
+import pytest
+
+from repro.core.units import Duration
+from repro.eventstore.model import ASU, Event, Run
+from repro.eventstore.provenance import stamp_step
+
+
+def make_run(number=1, start_time=100.0, event_count=None, events=None):
+    count = event_count if event_count is not None else (len(events) if events else 0)
+    return Run.create(
+        number=number,
+        start_time=start_time,
+        duration=Duration.minutes(50),
+        event_count=count,
+        conditions={"beam_energy": "5.29GeV"},
+    )
+
+
+def make_events(run_number=1, count=10, asu_names=("tracks", "hits"), seed=0,
+                payload_bytes=64):
+    rng = random.Random(seed)
+    events = []
+    for event_number in range(count):
+        asus = {
+            name: ASU(name=name, payload=rng.randbytes(payload_bytes))
+            for name in asu_names
+        }
+        events.append(Event(run_number=run_number, event_number=event_number, asus=asus))
+    return events
+
+
+@pytest.fixture()
+def recon_stamp():
+    return stamp_step("PassRecon", "Feb13_04_P2", {"calibration": "cal_v7"})

@@ -1,0 +1,160 @@
+"""Tests for the grid extension: services, movement, federation."""
+
+import random
+
+import pytest
+
+from repro.core.units import DataSize, Duration
+from repro.grid.federation import Federation, tabular_resource
+from repro.grid.movement import GridMover
+from repro.grid.services import GridError, ServiceRegistry
+from repro.transport.network import ARECIBO_UPLINK, INTERNET2_100
+from repro.transport.planner import TransportPlanner
+from repro.transport.sneakernet import ARECIBO_TO_CTC
+
+
+class TestServiceRegistry:
+    def test_publish_discover_call(self):
+        registry = ServiceRegistry()
+        registry.publish("weblab", "retro_browse", lambda url: f"page:{url}")
+        registry.publish("weblab", "graph_stats", lambda: {"nodes": 10})
+        registry.publish("arecibo", "candidates", lambda: [])
+        assert [e.operation for e in registry.discover("weblab")] == [
+            "graph_stats",
+            "retro_browse",
+        ]
+        assert registry.call("weblab.retro_browse", "http://x/") == "page:http://x/"
+        assert registry.usage()["weblab.retro_browse"] == 1
+
+    def test_duplicate_publish_rejected(self):
+        registry = ServiceRegistry()
+        registry.publish("p", "op", lambda: None)
+        with pytest.raises(GridError):
+            registry.publish("p", "op", lambda: None)
+
+    def test_unknown_service(self):
+        with pytest.raises(GridError):
+            ServiceRegistry().call("nope.nothing")
+
+    def test_usage_counts_even_on_error(self):
+        registry = ServiceRegistry()
+
+        def boom():
+            raise ValueError("x")
+
+        registry.publish("p", "boom", boom)
+        with pytest.raises(ValueError):
+            registry.call("p.boom")
+        assert registry.usage()["p.boom"] == 1
+
+
+class TestGridMover:
+    def planner(self):
+        return TransportPlanner(
+            links=[ARECIBO_UPLINK, INTERNET2_100], lanes=[ARECIBO_TO_CTC]
+        )
+
+    def test_moves_queue_and_chooses_modes(self):
+        mover = GridMover(self.planner())
+        mover.submit("arecibo", "ctc", DataSize.terabytes(14))
+        mover.submit("ia", "cornell", DataSize.gigabytes(5))
+        done = mover.run_queue()
+        assert all(job.status == "done" for job in done)
+        assert mover.total_moved().tb == pytest.approx(14.005)
+        modes = mover.modes_used()
+        assert modes.get("sneakernet", 0) >= 1  # the 14 TB goes by disk
+        assert modes.get("network", 0) >= 1  # the 5 GB goes by wire
+
+    def test_deadline_forwarded(self):
+        mover = GridMover(self.planner())
+        job = mover.submit(
+            "a", "b", DataSize.gigabytes(10), deadline=Duration.days(365)
+        )
+        mover.run_queue()
+        assert job.chosen is not None
+
+    def test_retries_then_fails(self):
+        mover = GridMover(
+            self.planner(), failure_prob=0.999, max_attempts=2, rng=random.Random(1)
+        )
+        job = mover.submit("a", "b", DataSize.gigabytes(1))
+        mover.run_queue()
+        assert job.attempts == 2
+        assert job.status == "failed"
+        assert mover.total_moved() == DataSize.zero()
+
+    def test_transient_failure_recovered(self):
+        mover = GridMover(
+            self.planner(), failure_prob=0.5, max_attempts=10, rng=random.Random(3)
+        )
+        job = mover.submit("a", "b", DataSize.gigabytes(1))
+        mover.run_queue()
+        assert job.status == "done"
+
+    def test_invalid_failure_prob(self):
+        with pytest.raises(Exception):
+            GridMover(self.planner(), failure_prob=1.5)
+
+
+class TestFederation:
+    def arecibo_catalog(self):
+        return tabular_resource(
+            "arecibo-palfa",
+            [
+                {"name": "PSR_A", "period_s": 0.1, "dm": 50.0},
+                {"name": "PSR_B", "period_s": 0.25, "dm": 30.0},
+            ],
+        )
+
+    def other_catalog(self):
+        return tabular_resource(
+            "parkes",
+            [
+                {"name": "J0001", "period_s": 0.1001, "dm": 49.0},
+                {"name": "J0002", "period_s": 0.7, "dm": 12.0},
+            ],
+        )
+
+    def test_contribute_and_query(self):
+        federation = Federation()
+        federation.contribute(self.arecibo_catalog())
+        assert federation.resources() == ["arecibo-palfa"]
+        rows = federation.query("arecibo-palfa", name="PSR_A")
+        assert rows == [{"name": "PSR_A", "period_s": 0.1, "dm": 50.0}]
+
+    def test_cross_match_within_tolerance(self):
+        federation = Federation()
+        federation.contribute(self.arecibo_catalog())
+        federation.contribute(self.other_catalog())
+        matches = federation.cross_match(
+            "arecibo-palfa", "parkes", on="period_s", tolerance=0.001
+        )
+        assert len(matches) == 1
+        left, right = matches[0]
+        assert left["name"] == "PSR_A"
+        assert right["name"] == "J0001"
+
+    def test_cross_match_unknown_column(self):
+        federation = Federation()
+        federation.contribute(self.arecibo_catalog())
+        federation.contribute(self.other_catalog())
+        with pytest.raises(GridError):
+            federation.cross_match("arecibo-palfa", "parkes", on="flux")
+
+    def test_duplicate_contribution_rejected(self):
+        federation = Federation()
+        federation.contribute(self.arecibo_catalog())
+        with pytest.raises(GridError):
+            federation.contribute(self.arecibo_catalog())
+
+    def test_query_unknown_filter_rejected(self):
+        federation = Federation()
+        federation.contribute(self.arecibo_catalog())
+        with pytest.raises(GridError):
+            federation.query("arecibo-palfa", flux=3)
+
+    def test_inconsistent_rows_rejected(self):
+        with pytest.raises(GridError):
+            tabular_resource("bad", [{"a": 1}, {"b": 2}])
+        with pytest.raises(GridError):
+            tabular_resource("empty", [])

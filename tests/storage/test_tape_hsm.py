@@ -1,0 +1,168 @@
+"""Tests for the robotic tape library and the hierarchical store."""
+
+import pytest
+
+from repro.core.errors import CapacityError, StorageError
+from repro.core.units import DataSize, Duration, Rate
+from repro.storage.hsm import HierarchicalStore
+from repro.storage.media import MediaType
+from repro.storage.tape import RoboticTapeLibrary
+
+
+def tiny_tape(capacity_gb=10, mount_seconds=60):
+    return MediaType(
+        name="test tape",
+        capacity=DataSize.gigabytes(capacity_gb),
+        read_rate=Rate.megabytes_per_second(100),
+        write_rate=Rate.megabytes_per_second(100),
+        mount_latency=Duration.from_seconds(mount_seconds),
+        unit_cost=50.0,
+    )
+
+
+class TestRoboticTapeLibrary:
+    def test_archive_starts_cartridges_as_needed(self):
+        library = RoboticTapeLibrary("ctc", tiny_tape(capacity_gb=5))
+        library.archive("a", DataSize.gigabytes(4))
+        assert library.cartridge_count == 1
+        library.archive("b", DataSize.gigabytes(4))
+        assert library.cartridge_count == 2
+        assert library.stored.gb == pytest.approx(8)
+        assert library.media_cost == pytest.approx(100)
+
+    def test_oversized_file_rejected(self):
+        library = RoboticTapeLibrary("ctc", tiny_tape(capacity_gb=1))
+        with pytest.raises(StorageError, match="split"):
+            library.archive("big", DataSize.gigabytes(2))
+
+    def test_duplicate_rejected(self):
+        library = RoboticTapeLibrary("ctc", tiny_tape())
+        library.archive("a", DataSize.gigabytes(1))
+        with pytest.raises(StorageError):
+            library.archive("a", DataSize.gigabytes(1))
+
+    def test_recall_roundtrip_and_mount_accounting(self):
+        library = RoboticTapeLibrary("ctc", tiny_tape(mount_seconds=60))
+        library.archive("a", DataSize.gigabytes(1))
+        file, elapsed = library.recall("a")
+        assert file.name == "a"
+        # Already mounted from the archive write: no extra mount.
+        assert elapsed.seconds == pytest.approx(10)
+        assert library.stats.mounts == 1
+
+    def test_recall_of_unknown_file(self):
+        library = RoboticTapeLibrary("ctc", tiny_tape())
+        with pytest.raises(StorageError):
+            library.recall("ghost")
+
+    def test_mount_charged_when_switching_cartridges(self):
+        library = RoboticTapeLibrary("ctc", tiny_tape(capacity_gb=5, mount_seconds=60))
+        library.archive("a", DataSize.gigabytes(4))  # cartridge 1
+        library.archive("b", DataSize.gigabytes(4))  # cartridge 2 (now mounted)
+        _, elapsed = library.recall("a")  # must remount cartridge 1
+        assert elapsed.seconds == pytest.approx(60 + 40)
+
+    def test_recall_batch_minimizes_mounts(self):
+        library = RoboticTapeLibrary("ctc", tiny_tape(capacity_gb=5, mount_seconds=60))
+        # Files interleaved across two cartridges.
+        library.archive("a1", DataSize.gigabytes(2))
+        library.archive("a2", DataSize.gigabytes(2))
+        library.archive("b1", DataSize.gigabytes(2))
+        library.archive("b2", DataSize.gigabytes(2))
+        mounts_before = library.stats.mounts
+        files, _ = library.recall_batch(["a1", "b1", "a2", "b2"])
+        assert {f.name for f in files} == {"a1", "a2", "b1", "b2"}
+        # Cartridge-major ordering: at most 2 additional mounts for 2 cartridges.
+        assert library.stats.mounts - mounts_before <= 2
+
+    def test_recall_batch_missing_file(self):
+        library = RoboticTapeLibrary("ctc", tiny_tape())
+        library.archive("a", DataSize.gigabytes(1))
+        with pytest.raises(StorageError, match="missing"):
+            library.recall_batch(["a", "ghost"])
+
+    def test_fail_cartridge_loses_files(self):
+        library = RoboticTapeLibrary("ctc", tiny_tape(capacity_gb=5))
+        library.archive("a", DataSize.gigabytes(4))
+        library.archive("b", DataSize.gigabytes(4))
+        lost = library.fail_cartridge(0)
+        assert lost == ["a"]
+        with pytest.raises(StorageError):
+            library.recall("a")
+        assert library.holds("b")
+
+    def test_stats_track_bytes(self):
+        library = RoboticTapeLibrary("ctc", tiny_tape())
+        library.archive("a", DataSize.gigabytes(2))
+        library.recall("a")
+        assert library.stats.bytes_written == pytest.approx(2e9)
+        assert library.stats.bytes_read == pytest.approx(2e9)
+
+    def test_invalid_drive_count(self):
+        with pytest.raises(StorageError):
+            RoboticTapeLibrary("ctc", tiny_tape(), drives=0)
+
+
+class TestHierarchicalStore:
+    def make_hsm(self, cache_gb=4):
+        library = RoboticTapeLibrary("ctc", tiny_tape(capacity_gb=100, mount_seconds=60))
+        return HierarchicalStore(library, cache_capacity=DataSize.gigabytes(cache_gb))
+
+    def test_store_leaves_cached_copy(self):
+        hsm = self.make_hsm()
+        hsm.store("a", DataSize.gigabytes(1))
+        assert hsm.is_cached("a")
+        file, elapsed = hsm.read("a")
+        assert elapsed == Duration.zero()
+        assert hsm.stats.hits == 1
+        assert hsm.stats.misses == 0
+
+    def test_miss_recalls_from_tape(self):
+        hsm = self.make_hsm(cache_gb=2)
+        hsm.store("a", DataSize.gigabytes(2))
+        hsm.store("b", DataSize.gigabytes(2))  # evicts a
+        assert not hsm.is_cached("a")
+        _, elapsed = hsm.read("a")
+        assert elapsed.seconds > 0
+        assert hsm.stats.misses == 1
+        assert hsm.stats.evictions >= 1
+
+    def test_lru_eviction_order(self):
+        hsm = self.make_hsm(cache_gb=3)
+        hsm.store("a", DataSize.gigabytes(1))
+        hsm.store("b", DataSize.gigabytes(1))
+        hsm.store("c", DataSize.gigabytes(1))
+        hsm.read("a")  # refresh a; b is now least recent
+        hsm.store("d", DataSize.gigabytes(1))  # evicts b
+        assert hsm.is_cached("a")
+        assert not hsm.is_cached("b")
+
+    def test_file_larger_than_cache_rejected(self):
+        hsm = self.make_hsm(cache_gb=1)
+        with pytest.raises(CapacityError):
+            hsm.store("big", DataSize.gigabytes(2))
+
+    def test_pin_set_batches_recalls(self):
+        hsm = self.make_hsm(cache_gb=10)
+        for name in ("a", "b", "c"):
+            hsm.store(name, DataSize.gigabytes(1))
+        # Evict everything by filling the cache with new files.
+        for index in range(10):
+            hsm.store(f"fill{index}", DataSize.gigabytes(1))
+        elapsed = hsm.pin_set(["a", "b", "c"])
+        assert elapsed.seconds > 0
+        assert all(hsm.is_cached(name) for name in ("a", "b", "c"))
+        # Pinning an already-cached set is free.
+        assert hsm.pin_set(["a", "b"]) == Duration.zero()
+
+    def test_hit_rate(self):
+        hsm = self.make_hsm(cache_gb=10)
+        hsm.store("a", DataSize.gigabytes(1))
+        hsm.read("a")
+        hsm.read("a")
+        assert hsm.stats.hit_rate == pytest.approx(1.0)
+
+    def test_zero_cache_rejected(self):
+        library = RoboticTapeLibrary("ctc", tiny_tape())
+        with pytest.raises(StorageError):
+            HierarchicalStore(library, cache_capacity=DataSize.zero())

@@ -1,0 +1,17 @@
+"""Shared fixtures: one built WebLab per test session."""
+
+import pytest
+
+from repro.weblab.services import build_weblab
+from repro.weblab.synthweb import SyntheticWebConfig
+
+
+@pytest.fixture(scope="session")
+def built_weblab(tmp_path_factory):
+    """A fully ingested WebLab over 6 synthetic crawls."""
+    root = tmp_path_factory.mktemp("weblab-build")
+    weblab, report, web = build_weblab(
+        root, SyntheticWebConfig(seed=3), n_crawls=6
+    )
+    yield weblab, report, web
+    weblab.close()

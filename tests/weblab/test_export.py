@@ -1,0 +1,90 @@
+"""Tests for research dataset export bundles."""
+
+import gzip
+
+import pytest
+
+from repro.core.errors import WebLabError
+from repro.weblab.arcformat import read_arc
+from repro.weblab.export import export_subset, read_exported_metadata
+from repro.weblab.subsets import SubsetCriteria
+
+
+class TestExportSubset:
+    def test_metadata_bundle(self, built_weblab, tmp_path):
+        weblab, _, _ = built_weblab
+        bundle = export_subset(
+            weblab.database,
+            weblab.pagestore,
+            tmp_path,
+            SubsetCriteria(tlds=("edu",)),
+            name="edu",
+        )
+        assert bundle.pages == weblab.database.db.count("pages", "tld = ?", ("edu",))
+        assert bundle.content_path is None
+        assert bundle.total_size.bytes > 0
+        rows = read_exported_metadata(bundle.metadata_path)
+        assert len(rows) == bundle.pages
+        assert all(row["tld"] == "edu" for row in rows)
+
+    def test_links_are_internal_to_subset(self, built_weblab, tmp_path):
+        weblab, _, _ = built_weblab
+        crawl = weblab.database.crawl_indexes()[-1]
+        bundle = export_subset(
+            weblab.database,
+            weblab.pagestore,
+            tmp_path,
+            SubsetCriteria(crawl_indexes=(crawl,)),
+            name="slice",
+        )
+        exported_urls = {row["url"] for row in read_exported_metadata(bundle.metadata_path)}
+        with gzip.open(bundle.links_path, "rt") as stream:
+            header = stream.readline()
+            assert header.startswith("crawl_index")
+            for line in stream:
+                _, src, dst = line.rstrip("\n").split("\t")
+                assert src in exported_urls
+                assert dst in exported_urls
+        assert bundle.links > 0
+
+    def test_content_bundle_round_trips(self, built_weblab, tmp_path):
+        weblab, _, _ = built_weblab
+        domain = weblab.database.domains()[0]
+        bundle = export_subset(
+            weblab.database,
+            weblab.pagestore,
+            tmp_path,
+            SubsetCriteria(domains=(domain,),
+                           crawl_indexes=(weblab.database.crawl_indexes()[-1],)),
+            name="onedomain",
+            include_content=True,
+        )
+        assert bundle.content_path is not None
+        records = list(read_arc(bundle.content_path))
+        assert len(records) == bundle.pages
+        # Content bytes come straight from the page store.
+        row = weblab.database.db.query_one(
+            "SELECT url, content_hash FROM pages WHERE domain = ? "
+            "AND crawl_index = ? LIMIT 1",
+            (domain, weblab.database.crawl_indexes()[-1]),
+        )
+        expected = weblab.pagestore.get(row["content_hash"])
+        exported = next(r for r in records if r.url == row["url"])
+        assert exported.content == expected
+
+    def test_empty_subset_rejected(self, built_weblab, tmp_path):
+        weblab, _, _ = built_weblab
+        with pytest.raises(WebLabError, match="no pages"):
+            export_subset(
+                weblab.database,
+                weblab.pagestore,
+                tmp_path,
+                SubsetCriteria(domains=("nosuchdomain.example",)),
+            )
+
+    def test_bad_header_detected(self, tmp_path):
+        path = tmp_path / "bad.tsv.gz"
+        with gzip.open(path, "wt") as stream:
+            stream.write("wrong\theader\n")
+        with pytest.raises(WebLabError, match="header"):
+            read_exported_metadata(path)

@@ -1,0 +1,109 @@
+"""Tests for focused selection of materials."""
+
+import math
+
+import pytest
+
+from repro.core.errors import WebLabError
+from repro.weblab.focused import (
+    centroid,
+    cosine,
+    select_materials,
+    term_vector,
+)
+
+
+class TestVectors:
+    def test_term_vector_normalized(self):
+        vector = term_vector("pulsar pulsar telescope")
+        norm = math.sqrt(sum(w * w for w in vector.values()))
+        assert norm == pytest.approx(1.0)
+        assert vector["pulsar"] > vector["telescope"]
+
+    def test_empty_text(self):
+        assert term_vector("") == {}
+
+    def test_cosine_bounds_and_identity(self):
+        a = term_vector("pulsar telescope survey")
+        assert cosine(a, a) == pytest.approx(1.0)
+        b = term_vector("election campaign vote")
+        assert cosine(a, b) == 0.0
+        c = term_vector("pulsar campaign")
+        assert 0 < cosine(a, c) < 1
+
+    def test_centroid(self):
+        a = term_vector("pulsar pulsar")
+        b = term_vector("telescope telescope")
+        mid = centroid([a, b])
+        assert mid["pulsar"] == pytest.approx(mid["telescope"])
+        with pytest.raises(WebLabError):
+            centroid([])
+        with pytest.raises(WebLabError):
+            centroid([{}])
+
+
+class TestFocusedSelection:
+    @pytest.fixture(scope="class")
+    def lab_with_topics(self, built_weblab):
+        weblab, _, web = built_weblab
+        crawl = weblab.database.crawl_indexes()[-1]
+        # Ground-truth astronomy pages from the synthetic web's topic labels.
+        urls = [
+            row["url"]
+            for row in weblab.database.db.query(
+                "SELECT url FROM pages WHERE crawl_index = ?", (crawl,)
+            )
+        ]
+        astronomy = [url for url in urls if web.topic_of(url) == "astronomy"]
+        return weblab, web, crawl, astronomy
+
+    def test_selection_is_topically_precise(self, lab_with_topics):
+        weblab, web, crawl, astronomy = lab_with_topics
+        if len(astronomy) < 4:
+            pytest.skip("synthetic web produced too few astronomy pages")
+        seeds = astronomy[:2]
+        selection = select_materials(
+            weblab.database, weblab.pagestore, seeds, crawl,
+            budget=40, min_score=0.45,
+        )
+        assert selection.pages_examined <= 40
+        assert selection.selected, "focused selection found nothing"
+        topics = [web.topic_of(page.url) for page in selection.selected]
+        precision = topics.count("astronomy") / len(topics)
+        assert precision >= 0.5
+        # Ranked by score, scores within [min_score, 1].
+        scores = [page.score for page in selection.selected]
+        assert scores == sorted(scores, reverse=True)
+        assert all(0.45 <= score <= 1.0 for score in scores)
+
+    def test_budget_bounds_examinations(self, lab_with_topics):
+        weblab, web, crawl, astronomy = lab_with_topics
+        if len(astronomy) < 2:
+            pytest.skip("no astronomy seeds")
+        selection = select_materials(
+            weblab.database, weblab.pagestore, astronomy[:1], crawl, budget=5
+        )
+        assert selection.pages_examined <= 5
+
+    def test_harvest_ratio_in_unit_interval(self, lab_with_topics):
+        weblab, web, crawl, astronomy = lab_with_topics
+        if len(astronomy) < 2:
+            pytest.skip("no astronomy seeds")
+        selection = select_materials(
+            weblab.database, weblab.pagestore, astronomy[:2], crawl, budget=30
+        )
+        assert 0.0 <= selection.harvest_ratio <= 1.0
+
+    def test_validation(self, lab_with_topics):
+        weblab, web, crawl, astronomy = lab_with_topics
+        with pytest.raises(WebLabError, match="seed"):
+            select_materials(weblab.database, weblab.pagestore, [], crawl)
+        with pytest.raises(WebLabError, match="budget"):
+            select_materials(
+                weblab.database, weblab.pagestore, ["http://x/"], crawl, budget=0
+            )
+        with pytest.raises(WebLabError, match="not in crawl"):
+            select_materials(
+                weblab.database, weblab.pagestore, ["http://nowhere.example/"],
+                crawl,
+            )

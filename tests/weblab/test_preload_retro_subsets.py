@@ -1,0 +1,239 @@
+"""Tests for the preload subsystem, metadata DB, retro browser, and subsets."""
+
+import pytest
+
+from repro.core.errors import WebLabError
+from repro.weblab.metadb import WebLabDatabase
+from repro.weblab.pagestore import PageStore, content_hash
+from repro.weblab.preload import PreloadConfig
+from repro.weblab.retro import RetroBrowser
+from repro.weblab.subsets import (
+    SubsetCriteria,
+    drop_subset,
+    extract_subset,
+    list_subsets,
+    stratified_sample,
+)
+
+
+class TestPageStore:
+    def test_put_get_round_trip(self, tmp_path):
+        store = PageStore(tmp_path)
+        digest = store.put(b"hello world")
+        assert store.get(digest) == b"hello world"
+        assert digest in store
+
+    def test_deduplication(self, tmp_path):
+        store = PageStore(tmp_path)
+        a = store.put(b"same content")
+        b = store.put(b"same content")
+        assert a == b
+        assert store.blob_count() == 1
+
+    def test_missing_content(self, tmp_path):
+        store = PageStore(tmp_path)
+        with pytest.raises(WebLabError):
+            store.get(content_hash(b"never stored"))
+
+    def test_total_size(self, tmp_path):
+        store = PageStore(tmp_path)
+        store.put(b"x" * 100)
+        store.put(b"y" * 50)
+        assert store.total_size().bytes == 150
+
+
+class TestPreload:
+    def test_everything_loaded(self, built_weblab):
+        weblab, report, _ = built_weblab
+        assert report.pages_loaded == weblab.database.page_count()
+        assert report.links_loaded == weblab.database.link_count()
+        assert report.pages_loaded > 0
+        assert report.links_loaded > 0
+        assert report.preload.throughput.bytes_per_second > 0
+
+    def test_content_retrievable_via_hash(self, built_weblab):
+        weblab, _, _ = built_weblab
+        row = weblab.database.db.query_one(
+            "SELECT content_hash, size_bytes FROM pages LIMIT 1"
+        )
+        content = weblab.pagestore.get(row["content_hash"])
+        assert len(content) == row["size_bytes"]
+
+    def test_crawl_page_counts_updated(self, built_weblab):
+        weblab, _, _ = built_weblab
+        for crawl_index in weblab.database.crawl_indexes():
+            counted = weblab.database.page_count(crawl_index)
+            recorded = weblab.database.db.query_value(
+                "SELECT page_count FROM crawls WHERE crawl_index = ?", (crawl_index,)
+            )
+            assert counted == recorded > 0
+
+    def test_pagestore_dedups_unchanged_pages(self, built_weblab):
+        """Crawls re-fetch mostly unchanged pages; the store keeps one copy."""
+        weblab, report, _ = built_weblab
+        distinct_hashes = weblab.database.db.query_value(
+            "SELECT count(DISTINCT content_hash) FROM pages"
+        )
+        assert weblab.pagestore.blob_count() == distinct_hashes
+        assert distinct_hashes < report.pages_loaded
+
+    def test_config_validation(self):
+        with pytest.raises(WebLabError):
+            PreloadConfig(batch_size=0)
+        with pytest.raises(WebLabError):
+            PreloadConfig(workers=0)
+
+
+class TestMetaDb:
+    def test_page_as_of_picks_latest_prior(self, built_weblab):
+        weblab, _, _ = built_weblab
+        url = weblab.database.db.query_value(
+            "SELECT url FROM pages GROUP BY url HAVING count(*) >= 3 LIMIT 1"
+        )
+        captures = weblab.database.captures_of(url)
+        midpoint = (captures[1] + captures[2]) / 2
+        row = weblab.database.page_as_of(url, midpoint)
+        assert row["fetched_at"] == captures[1]
+
+    def test_page_as_of_before_first_capture(self, built_weblab):
+        weblab, _, _ = built_weblab
+        url = weblab.database.db.query_value("SELECT url FROM pages LIMIT 1")
+        first = weblab.database.captures_of(url)[0]
+        assert weblab.database.page_as_of(url, first - 1.0) is None
+
+    def test_duplicate_crawl_registration(self, built_weblab):
+        weblab, _, _ = built_weblab
+        index = weblab.database.crawl_indexes()[0]
+        time = weblab.database.db.query_value(
+            "SELECT crawl_time FROM crawls WHERE crawl_index = ?", (index,)
+        )
+        weblab.database.register_crawl(index, time)  # idempotent
+        with pytest.raises(WebLabError):
+            weblab.database.register_crawl(index, time + 99)
+
+
+class TestRetroBrowser:
+    @pytest.fixture()
+    def retro(self, built_weblab):
+        weblab, _, _ = built_weblab
+        return RetroBrowser(weblab.database, weblab.pagestore)
+
+    def find_evolving_url(self, weblab):
+        return weblab.database.db.query_value(
+            "SELECT url FROM pages GROUP BY url "
+            "HAVING count(DISTINCT content_hash) >= 2 LIMIT 1"
+        )
+
+    def test_browse_as_of_date(self, built_weblab, retro):
+        weblab, _, _ = built_weblab
+        url = self.find_evolving_url(weblab)
+        history = retro.history(url)
+        early = retro.get(url, history[0])
+        late = retro.get(url, history[-1])
+        assert early.fetched_at <= late.fetched_at
+        diffs = retro.diff_times(url)
+        hashes = {digest for _, digest in diffs}
+        assert len(hashes) >= 2  # the page really changed
+
+    def test_time_pinned_content_is_stable(self, retro, built_weblab):
+        weblab, _, _ = built_weblab
+        url = self.find_evolving_url(weblab)
+        pin = retro.history(url)[0]
+        assert retro.get(url, pin).content == retro.get(url, pin).content
+
+    def test_never_captured_raises(self, retro):
+        with pytest.raises(WebLabError, match="no capture"):
+            retro.get("http://nosuch.example/", 1e12)
+
+    def test_navigation_stays_pinned(self, built_weblab, retro):
+        weblab, _, _ = built_weblab
+        row = weblab.database.db.query_one(
+            "SELECT src_url, crawl_index FROM links LIMIT 1"
+        )
+        crawl_time = weblab.database.db.query_value(
+            "SELECT crawl_time FROM crawls WHERE crawl_index = ?",
+            (row["crawl_index"],),
+        )
+        as_of = crawl_time + 1.0
+        page = retro.get(row["src_url"], as_of)
+        if page.outlinks:  # the link table matches this capture's crawl
+            target = retro.navigate(row["src_url"], as_of, 0)
+            assert target.as_of == as_of
+            assert target.fetched_at <= as_of
+
+    def test_navigate_bad_index(self, built_weblab, retro):
+        weblab, _, _ = built_weblab
+        url = weblab.database.db.query_value("SELECT url FROM pages LIMIT 1")
+        as_of = retro.history(url)[-1]
+        with pytest.raises(WebLabError, match="outlinks"):
+            retro.navigate(url, as_of, 9999)
+
+
+class TestSubsets:
+    def test_extract_by_tld(self, built_weblab):
+        weblab, _, _ = built_weblab
+        count = extract_subset(weblab.database, "edu_only", SubsetCriteria(tlds=("edu",)))
+        assert count > 0
+        assert count == weblab.database.db.count("pages", "tld = ?", ("edu",))
+        assert "edu_only" in list_subsets(weblab.database)
+        drop_subset(weblab.database, "edu_only")
+        assert "edu_only" not in list_subsets(weblab.database)
+
+    def test_extract_time_slice(self, built_weblab):
+        weblab, _, _ = built_weblab
+        crawl_indexes = weblab.database.crawl_indexes()
+        count = extract_subset(
+            weblab.database,
+            "slice_two",
+            SubsetCriteria(crawl_indexes=(crawl_indexes[0], crawl_indexes[1])),
+        )
+        expected = weblab.database.page_count(crawl_indexes[0]) + weblab.database.page_count(
+            crawl_indexes[1]
+        )
+        assert count == expected
+
+    def test_extract_with_quotes_in_value_is_safe(self, built_weblab):
+        weblab, _, _ = built_weblab
+        count = extract_subset(
+            weblab.database, "weird", SubsetCriteria(domains=("o'reilly.com",))
+        )
+        assert count == 0  # no such domain, but no SQL error either
+
+    def test_bad_view_name_rejected(self, built_weblab):
+        weblab, _, _ = built_weblab
+        with pytest.raises(WebLabError):
+            extract_subset(weblab.database, "bad; DROP TABLE pages", SubsetCriteria())
+        with pytest.raises(WebLabError):
+            extract_subset(weblab.database, "1leading", SubsetCriteria())
+
+    def test_stratified_sample_by_domain(self, built_weblab):
+        weblab, _, _ = built_weblab
+        sample = stratified_sample(weblab.database, "domain", per_stratum=3, seed=1)
+        assert set(sample) == set(weblab.database.domains())
+        assert all(len(urls) <= 3 for urls in sample.values())
+        assert all(urls for urls in sample.values())
+
+    def test_stratified_sample_deterministic(self, built_weblab):
+        weblab, _, _ = built_weblab
+        a = stratified_sample(weblab.database, "tld", per_stratum=5, seed=9)
+        b = stratified_sample(weblab.database, "tld", per_stratum=5, seed=9)
+        assert a == b
+
+    def test_stratified_sample_respects_criteria(self, built_weblab):
+        weblab, _, _ = built_weblab
+        crawl = weblab.database.crawl_indexes()[0]
+        sample = stratified_sample(
+            weblab.database,
+            "domain",
+            per_stratum=100,
+            criteria=SubsetCriteria(crawl_indexes=(crawl,)),
+        )
+        total = sum(len(urls) for urls in sample.values())
+        assert total == weblab.database.page_count(crawl)
+
+    def test_stratified_sample_validation(self, built_weblab):
+        weblab, _, _ = built_weblab
+        with pytest.raises(WebLabError):
+            stratified_sample(weblab.database, "content_hash", 3)
+        with pytest.raises(WebLabError):
+            stratified_sample(weblab.database, "domain", 0)
