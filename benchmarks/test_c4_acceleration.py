@@ -22,7 +22,7 @@ from repro.arecibo.telescope import ObservationConfig, ObservationSimulator
 from tests.arecibo.conftest import SMALL_CONFIG, single_pulsar_pointing
 
 BINARY_SKY = SkyModel(
-    seed=40,
+    seed=41,
     pulsar_fraction=0.8,
     binary_fraction=1.0,
     period_range_s=(0.03, 0.12),

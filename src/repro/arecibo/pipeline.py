@@ -11,6 +11,7 @@ and processor requirements the paper quotes come out of the run report.
 from __future__ import annotations
 
 import random
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -60,6 +61,11 @@ class AreciboPipelineConfig:
     single_pulse_threshold: float = 7.0
     single_pulse_dm_stride: int = 4
     transient_max_beams: int = 3
+    # Parallelism: engine stage concurrency and per-pointing fan-out inside
+    # the dominant `process` stage.  Results are identical for any value;
+    # every pointing draws from its own deterministic RNG and the merge
+    # happens in pointing order.
+    workers: int = 1
     seed: int = 7
 
 
@@ -170,93 +176,125 @@ def run_arecibo_pipeline(
                 )
         return shipped.derive("archived-raw", shipped.size)
 
+    def process_pointing(pointing):
+        """Search one pointing: all seven beams plus the multibeam culls.
+
+        Self-contained and deterministic: the RNG is derived from the run
+        seed and the pointing id, never shared across pointings, so the
+        per-pointing results are identical whether pointings run serially
+        or fanned out across a thread pool.
+        """
+        rng = np.random.default_rng((config.seed + 1, pointing.pointing_id))
+        presift = 0
+        dedispersed_total = DataSize.zero()
+        per_beam_sifted: List[List] = []
+        per_beam_transients: List[Tuple[int, List[SinglePulseEvent]]] = []
+        grid: Optional[DMGrid] = None
+        for filterbank in observations[pointing.pointing_id]:
+            cleaned, _ = clean_filterbank(filterbank, rng=rng)
+            if grid is None:
+                grid = DMGrid.matched(cleaned, config.dm_max)
+            block = dedisperse_all(cleaned, grid)
+            dedispersed_total += dedispersed_size(cleaned, grid)
+            raw_candidates = search_dm_block(
+                block,
+                grid.trials,
+                cleaned.tsamp_s,
+                snr_threshold=config.snr_threshold,
+                pointing_id=pointing.pointing_id,
+                beam=filterbank.beam,
+            )
+            presift += len(raw_candidates)
+            if config.accel_trials > 1:
+                trials = acceleration_trials(
+                    config.accel_max_ms2, config.accel_trials
+                )
+                for row_index in range(0, len(grid.trials), config.accel_dm_stride):
+                    for trial in trials:
+                        if trial == 0.0:
+                            continue  # already searched above
+                        resampled = resample_for_acceleration(
+                            block[row_index], cleaned.tsamp_s, trial
+                        )
+                        accel_candidates = search_spectrum(
+                            resampled,
+                            cleaned.tsamp_s,
+                            grid.trials[row_index],
+                            snr_threshold=config.snr_threshold,
+                            accel_ms2=trial,
+                            pointing_id=pointing.pointing_id,
+                            beam=filterbank.beam,
+                        )
+                        presift += len(accel_candidates)
+                        raw_candidates.extend(accel_candidates)
+            per_beam_sifted.append(sift(raw_candidates))
+            # Transient search: boxcar ladder over a DM-grid subset,
+            # keeping each beam's best detection per time cluster.
+            beam_events: dict = {}
+            for row_index in range(0, len(grid.trials),
+                                   config.single_pulse_dm_stride):
+                for event in search_single_pulses(
+                    block[row_index], cleaned.tsamp_s,
+                    grid.trials[row_index],
+                    snr_threshold=config.single_pulse_threshold,
+                ):
+                    key = round(event.time_s, 2)
+                    current = beam_events.get(key)
+                    if current is None or event.snr > current.snr:
+                        beam_events[key] = event
+            per_beam_transients.append(
+                (filterbank.beam, list(beam_events.values()))
+            )
+        multibeam = multibeam_coincidence(
+            per_beam_sifted, max_beams=config.multibeam_max
+        )
+        # Transient multibeam cull: an impulse seen simultaneously in more
+        # than `transient_max_beams` *other* beams is broadband local RFI.
+        # Survivors record the telescope beam id carried by the filterbank,
+        # matching how sifted candidates record theirs.
+        transient_survivors: List[Tuple[int, int, SinglePulseEvent]] = []
+        for beam, events in per_beam_transients:
+            for event in events:
+                other_beams_seen = sum(
+                    1
+                    for other_beam, other_events in per_beam_transients
+                    if other_beam != beam
+                    and any(
+                        abs(other_event.time_s - event.time_s)
+                        <= max(other_event.width_s, event.width_s)
+                        for other_event in other_events
+                    )
+                )
+                if other_beams_seen <= config.transient_max_beams:
+                    transient_survivors.append(
+                        (pointing.pointing_id, beam, event)
+                    )
+        return presift, dedispersed_total, multibeam, transient_survivors
+
     def process(inputs, ctx):
-        """Per-beam excision, dedispersion, Fourier search; multibeam cull."""
-        rng = np.random.default_rng(config.seed + 1)
+        """Per-beam excision, dedispersion, Fourier search; multibeam cull.
+
+        Pointings are independent, so with ``config.workers > 1`` they fan
+        out across a thread pool; results merge in pointing order either
+        way, keeping the stage output byte-identical for any worker count.
+        """
+        if config.workers > 1:
+            with ThreadPoolExecutor(max_workers=config.workers) as pool:
+                pointing_results = list(pool.map(process_pointing, pointings))
+        else:
+            pointing_results = [process_pointing(p) for p in pointings]
+
         presift = 0
         dedispersed_total = DataSize.zero()
         all_sifted: List[SiftedCandidate] = []
         rejected = 0
         transient_survivors: List[Tuple[int, int, SinglePulseEvent]] = []
-        for pointing in pointings:
-            per_beam_sifted: List[List] = []
-            per_beam_transients: List[List[SinglePulseEvent]] = []
-            grid: Optional[DMGrid] = None
-            for filterbank in observations[pointing.pointing_id]:
-                cleaned, _ = clean_filterbank(filterbank, rng=rng)
-                if grid is None:
-                    grid = DMGrid.matched(cleaned, config.dm_max)
-                block = dedisperse_all(cleaned, grid)
-                dedispersed_total += dedispersed_size(cleaned, grid)
-                raw_candidates = search_dm_block(
-                    block,
-                    grid.trials,
-                    cleaned.tsamp_s,
-                    snr_threshold=config.snr_threshold,
-                    pointing_id=pointing.pointing_id,
-                    beam=filterbank.beam,
-                )
-                presift += len(raw_candidates)
-                if config.accel_trials > 1:
-                    trials = acceleration_trials(
-                        config.accel_max_ms2, config.accel_trials
-                    )
-                    for row_index in range(0, len(grid.trials), config.accel_dm_stride):
-                        for trial in trials:
-                            if trial == 0.0:
-                                continue  # already searched above
-                            resampled = resample_for_acceleration(
-                                block[row_index], cleaned.tsamp_s, trial
-                            )
-                            accel_candidates = search_spectrum(
-                                resampled,
-                                cleaned.tsamp_s,
-                                grid.trials[row_index],
-                                snr_threshold=config.snr_threshold,
-                                accel_ms2=trial,
-                                pointing_id=pointing.pointing_id,
-                                beam=filterbank.beam,
-                            )
-                            presift += len(accel_candidates)
-                            raw_candidates.extend(accel_candidates)
-                per_beam_sifted.append(sift(raw_candidates))
-                # Transient search: boxcar ladder over a DM-grid subset,
-                # keeping each beam's best detection per time cluster.
-                beam_events: dict = {}
-                for row_index in range(0, len(grid.trials),
-                                       config.single_pulse_dm_stride):
-                    for event in search_single_pulses(
-                        block[row_index], cleaned.tsamp_s,
-                        grid.trials[row_index],
-                        snr_threshold=config.single_pulse_threshold,
-                    ):
-                        key = round(event.time_s, 2)
-                        current = beam_events.get(key)
-                        if current is None or event.snr > current.snr:
-                            beam_events[key] = event
-                per_beam_transients.append(list(beam_events.values()))
-            multibeam = multibeam_coincidence(
-                per_beam_sifted, max_beams=config.multibeam_max
-            )
+        for pointing_presift, pointing_dedisp, multibeam, survivors in pointing_results:
+            presift += pointing_presift
+            dedispersed_total += pointing_dedisp
             rejected += multibeam.rejection_count
             all_sifted.extend(multibeam.accepted)
-            # Transient multibeam cull: an impulse seen simultaneously in
-            # more than `transient_max_beams` beams is broadband local RFI.
-            for beam_index, events in enumerate(per_beam_transients):
-                for event in events:
-                    beams_seen = sum(
-                        1
-                        for other in per_beam_transients
-                        if any(
-                            abs(other_event.time_s - event.time_s)
-                            <= max(other_event.width_s, event.width_s)
-                            for other_event in other
-                        )
-                    )
-                    if beams_seen <= config.transient_max_beams:
-                        transient_survivors.append(
-                            (pointing.pointing_id, beam_index, event)
-                        )
+            transient_survivors.extend(survivors)
         state["presift"] = presift
         state["sifted"] = all_sifted
         state["dedispersed"] = dedispersed_total
@@ -294,8 +332,15 @@ def run_arecibo_pipeline(
         survivors = database.confirmed_pulsars(min_snr=config.snr_threshold)
         confirmed = []
         fold_rng = np.random.default_rng(config.seed + 2)
+        # Candidate rows carry telescope beam ids, not list positions, so
+        # resolve the filterbank by its own beam attribute.
+        beam_lookup = {
+            (pointing_id, filterbank.beam): filterbank
+            for pointing_id, beams in observations.items()
+            for filterbank in beams
+        }
         for row in survivors:
-            filterbank = observations[row["pointing_id"]][row["beam"]]
+            filterbank = beam_lookup[(row["pointing_id"], row["beam"])]
             cleaned, _ = clean_filterbank(filterbank, rng=fold_rng)
             base_series = dedisperse(cleaned, row["dm"])
             # Fold at the recorded trial acceleration and at zero, keeping
@@ -348,7 +393,7 @@ def run_arecibo_pipeline(
     flow.chain("acquire", "ship", "archive", "process", "consolidate",
                "meta-analysis")
 
-    flow_report = Engine(seed=config.seed).run(flow)
+    flow_report = Engine(seed=config.seed, max_workers=config.workers).run(flow)
 
     # Score detections against ground truth.
     injected = [p for pointing in pointings for p in pointing.all_pulsars()]

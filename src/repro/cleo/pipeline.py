@@ -47,6 +47,10 @@ class CleoPipelineConfig:
     # determines how much analysis traffic pages against tape.
     use_hsm: bool = False
     hsm_cache: DataSize = field(default_factory=lambda: DataSize.megabytes(1))
+    # Engine stage concurrency: Figure 2 is a genuine DAG (the offsite
+    # Monte Carlo runs beside the reconstruction chain), so workers > 1
+    # overlaps those branches while reporting identical accounting.
+    workers: int = 1
     seed: int = 11
 
 
@@ -201,7 +205,7 @@ def run_cleo_pipeline(
     flow.connect("post-reconstruction", "physics-analysis")
     flow.connect("monte-carlo", "physics-analysis", label="simulation")
 
-    flow_report = Engine(seed=config.seed).run(flow)
+    flow_report = Engine(seed=config.seed, max_workers=config.workers).run(flow)
 
     sizes_by_kind: Dict[str, DataSize] = {}
     for kind in ("raw", "recon", "postrecon", "mc"):

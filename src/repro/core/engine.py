@@ -7,19 +7,63 @@ hand: bytes produced per stage, simulated CPU time per site, the
 instantaneous storage high-water mark (the "minimum of 30 Terabytes of
 storage required instantaneously" argument for Arecibo), and a provenance
 record per stage output.
+
+Two execution strategies share all of that accounting:
+
+* ``Engine(max_workers=1)`` (the default) calls every stage in the calling
+  thread, one at a time, in topological order.
+* ``Engine(max_workers=N)`` / :class:`ParallelEngine` runs independent
+  stages concurrently on a thread pool — the paper's "50 to 200
+  processors" argument, exercised instead of merely quoted.
+
+Parallel execution preserves *exact* sequential semantics:
+
+* every stage draws randomness from its own ``random.Random`` seeded from
+  ``(run seed, stage name)``, so no stage's stream depends on when any
+  other stage ran;
+* provenance record ids are reserved per stage in topological order
+  before execution, so the lineage graph (ids, parent chains, stamps) is
+  byte-identical to the sequential run's no matter the completion order;
+* storage and CPU accounting are replayed over the completed stages in
+  topological order, so ``peak_live_storage`` and every
+  :class:`StageReport` row match the sequential run exactly.
 """
 
 from __future__ import annotations
 
+import hashlib
 import random
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.core.dataflow import DataFlow, Stage
 from repro.core.dataset import Dataset
 from repro.core.errors import ExecutionError
 from repro.core.provenance import ProcessingStep, ProvenanceStore
 from repro.core.units import DataSize, Duration
+
+
+def _stage_seed(run_seed: int, stage_name: str) -> int:
+    """Stable per-stage RNG seed derived from the run seed and stage name.
+
+    Uses SHA-256 rather than ``hash()`` so the derivation survives
+    interpreter restarts (``PYTHONHASHSEED``) and is identical across
+    sequential and parallel runs.
+    """
+    digest = hashlib.sha256(f"{run_seed}\x1f{stage_name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def _input_descriptor(dataset: Dataset) -> str:
+    """Stable provenance description of one input dataset.
+
+    Deliberately excludes the process-global ``dataset_id`` counter: two
+    runs of the same flow must produce byte-identical provenance stamps,
+    which is the property the determinism suite (and the paper's
+    digest-comparison scheme) relies on.
+    """
+    return f"{dataset.name}@{dataset.version}"
 
 
 @dataclass
@@ -49,6 +93,7 @@ class FlowReport:
     stages: List[StageReport] = field(default_factory=list)
     outputs: Dict[str, Dataset] = field(default_factory=dict)
     peak_live_storage: DataSize = field(default_factory=DataSize.zero)
+    provenance: Optional[ProvenanceStore] = field(default=None, repr=False)
 
     @property
     def total_cpu_time(self) -> Duration:
@@ -121,21 +166,46 @@ class StageContext:
         return Duration(self._extra_cpu_seconds)
 
 
+@dataclass
+class _StageResult:
+    """What execution hands to the accounting replay for one stage."""
+
+    output: Dataset
+    extra_cpu_seconds: float
+
+
 class Engine:
-    """Sequential topological executor with accounting.
+    """Topological executor with accounting; sequential or thread-parallel.
 
     Parameters
     ----------
     provenance:
         Shared provenance store; one is created if not supplied.
     seed:
-        Seed for the per-run RNG handed to stages, keeping stochastic
-        pipelines (detector noise, synthetic web growth) reproducible.
+        Run seed.  Each stage gets its own ``random.Random`` seeded from
+        ``(seed, stage name)``, keeping stochastic pipelines reproducible
+        under any execution order.
+    max_workers:
+        ``1`` executes stages sequentially in the calling thread;
+        ``N > 1`` runs independent stages concurrently on a thread pool
+        while producing byte-identical reports and provenance.
     """
 
-    def __init__(self, provenance: Optional[ProvenanceStore] = None, seed: int = 0):
+    def __init__(
+        self,
+        provenance: Optional[ProvenanceStore] = None,
+        seed: int = 0,
+        max_workers: int = 1,
+    ):
+        if max_workers < 1:
+            raise ExecutionError("engine", f"max_workers must be >= 1, got {max_workers}")
         self.provenance = provenance if provenance is not None else ProvenanceStore()
         self._seed = seed
+        self._max_workers = int(max_workers)
+
+    @property
+    def max_workers(self) -> int:
+        return self._max_workers
 
     def run(
         self,
@@ -145,76 +215,231 @@ class Engine:
         """Execute ``flow`` and return its :class:`FlowReport`.
 
         ``inputs`` optionally maps *source stage names* to seed datasets;
-        source stages receive them under the key ``"input"``.
+        source stages receive them under the key ``"input"``.  Seed
+        datasets count toward live storage from the start of the run until
+        their consumer stage completes (externally-fed data occupies disk
+        just as stage outputs do).
         """
         flow.validate()
         order = flow.topological_order()
-        report = FlowReport(flow_name=flow.name)
-        produced: Dict[str, Dataset] = {}
-        prov_ids: Dict[str, str] = {}
-        # Reference counts drive the live-storage high-water accounting: a
-        # stage output stays "on disk" until every consumer has run.
-        remaining_consumers = {name: len(flow.successors(name)) for name in order}
-        live_bytes = 0.0
-        peak_bytes = 0.0
-        rng = random.Random(self._seed)
+        seeds = self._seed_datasets(flow, order, inputs)
+        # Reserve provenance ids in topological order so the lineage graph
+        # is numbered identically regardless of execution strategy.
+        reserved = {name: self.provenance.reserve_id() for name in order}
+        if self._max_workers == 1:
+            results = self._execute_sequential(flow, order, seeds, reserved)
+        else:
+            results = self._execute_parallel(flow, order, seeds, reserved)
+        return self._build_report(flow, order, seeds, reserved, results)
 
+    # -- execution ---------------------------------------------------------
+    @staticmethod
+    def _seed_datasets(
+        flow: DataFlow,
+        order: List[str],
+        inputs: Optional[Mapping[str, Dataset]],
+    ) -> Dict[str, Dataset]:
+        """Seed datasets keyed by the source stage that consumes them."""
+        if not inputs:
+            return {}
+        return {
+            name: inputs[name]
+            for name in order
+            if name in inputs and not flow.predecessors(name)
+        }
+
+    @staticmethod
+    def _stage_inputs(
+        flow: DataFlow,
+        name: str,
+        seeds: Mapping[str, Dataset],
+        results: Mapping[str, _StageResult],
+    ) -> Dict[str, Dataset]:
+        stage_inputs = {
+            pred: results[pred].output for pred in flow.predecessors(name)
+        }
+        if not stage_inputs and name in seeds:
+            stage_inputs = {"input": seeds[name]}
+        return stage_inputs
+
+    def _run_stage(
+        self,
+        flow: DataFlow,
+        name: str,
+        stage_inputs: Mapping[str, Dataset],
+    ) -> _StageResult:
+        stage = flow.stages[name]
+        rng = random.Random(_stage_seed(self._seed, name))
+        context = StageContext(stage, self, self.provenance, rng)
+        try:
+            output = stage.fn(stage_inputs, context)
+        except ExecutionError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - wrap with stage identity
+            raise ExecutionError(name, str(exc)) from exc
+        if not isinstance(output, Dataset):
+            raise ExecutionError(
+                name, f"stage returned {type(output).__name__}, expected Dataset"
+            )
+        return _StageResult(output=output, extra_cpu_seconds=context.extra_cpu.seconds)
+
+    def _commit(
+        self,
+        flow: DataFlow,
+        name: str,
+        stage_inputs: Mapping[str, Dataset],
+        result: _StageResult,
+        reserved: Mapping[str, str],
+    ) -> None:
+        """Record provenance for a completed stage.
+
+        Runs before any successor is started, so downstream transforms see
+        their inputs' ``provenance_id`` exactly as under sequential
+        execution.
+        """
+        stage = flow.stages[name]
+        step = ProcessingStep.create(
+            module=name,
+            version=result.output.version,
+            params={"site": stage.site},
+            inputs=sorted(_input_descriptor(ds) for ds in stage_inputs.values()),
+        )
+        parents = [reserved[pred] for pred in flow.predecessors(name)]
+        record = self.provenance.record(
+            artifact=result.output.name,
+            step=step,
+            parents=parents,
+            record_id=reserved[name],
+        )
+        result.output.provenance_id = record.record_id
+
+    def _execute_sequential(
+        self,
+        flow: DataFlow,
+        order: List[str],
+        seeds: Mapping[str, Dataset],
+        reserved: Mapping[str, str],
+    ) -> Dict[str, _StageResult]:
+        results: Dict[str, _StageResult] = {}
+        for name in order:
+            stage_inputs = self._stage_inputs(flow, name, seeds, results)
+            result = self._run_stage(flow, name, stage_inputs)
+            self._commit(flow, name, stage_inputs, result, reserved)
+            results[name] = result
+        return results
+
+    def _execute_parallel(
+        self,
+        flow: DataFlow,
+        order: List[str],
+        seeds: Mapping[str, Dataset],
+        reserved: Mapping[str, str],
+    ) -> Dict[str, _StageResult]:
+        """Run independent stages concurrently; commit on completion.
+
+        The scheduler (this thread) owns all bookkeeping: workers only
+        execute stage transforms, so no shared mutable state crosses the
+        pool boundary except what stage functions themselves share.
+        """
+        results: Dict[str, _StageResult] = {}
+        remaining_preds = {name: len(flow.predecessors(name)) for name in order}
+        failures: Dict[str, ExecutionError] = {}
+        with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
+            pending: Dict[Future, Tuple[str, Dict[str, Dataset]]] = {}
+
+            def submit(name: str) -> None:
+                stage_inputs = self._stage_inputs(flow, name, seeds, results)
+                future = pool.submit(self._run_stage, flow, name, stage_inputs)
+                pending[future] = (name, stage_inputs)
+
+            for name in order:
+                if remaining_preds[name] == 0:
+                    submit(name)
+            while pending:
+                done, _ = wait(list(pending), return_when=FIRST_COMPLETED)
+                for future in done:
+                    name, stage_inputs = pending.pop(future)
+                    try:
+                        result = future.result()
+                    except ExecutionError as exc:
+                        failures[name] = exc
+                        continue
+                    self._commit(flow, name, stage_inputs, result, reserved)
+                    results[name] = result
+                    for succ in flow.successors(name):
+                        remaining_preds[succ] -= 1
+                        if remaining_preds[succ] == 0 and not failures:
+                            submit(succ)
+        if failures:
+            # Surface the failure a sequential run would have hit first.
+            first = min(failures, key=order.index)
+            raise failures[first]
+        return results
+
+    # -- accounting --------------------------------------------------------
+    def _build_report(
+        self,
+        flow: DataFlow,
+        order: List[str],
+        seeds: Mapping[str, Dataset],
+        reserved: Mapping[str, str],
+        results: Mapping[str, _StageResult],
+    ) -> FlowReport:
+        """Replay storage/CPU accounting over completed stages in
+        topological order — identical output for any completion order."""
+        report = FlowReport(flow_name=flow.name, provenance=self.provenance)
+        # Reference counts drive the live-storage high-water accounting: a
+        # stage output stays "on disk" until every consumer has run, and a
+        # seed dataset is live from the start until its consumer completes.
+        remaining_consumers = {name: len(flow.successors(name)) for name in order}
+        live_bytes = sum(dataset.size.bytes for dataset in seeds.values())
+        peak_bytes = live_bytes
         for name in order:
             stage = flow.stages[name]
-            stage_inputs: Dict[str, Dataset] = {
-                pred: produced[pred] for pred in flow.predecessors(name)
-            }
-            if not stage_inputs and inputs and name in inputs:
-                stage_inputs = {"input": inputs[name]}
-            context = StageContext(stage, self, self.provenance, rng)
-            try:
-                output = stage.fn(stage_inputs, context)
-            except ExecutionError:
-                raise
-            except Exception as exc:  # noqa: BLE001 - wrap with stage identity
-                raise ExecutionError(name, str(exc)) from exc
-            if not isinstance(output, Dataset):
-                raise ExecutionError(
-                    name, f"stage returned {type(output).__name__}, expected Dataset"
-                )
-
+            result = results[name]
+            stage_inputs = self._stage_inputs(flow, name, seeds, results)
             input_size = DataSize(
                 sum(dataset.size.bytes for dataset in stage_inputs.values())
             )
-            cpu_seconds = stage.cpu_seconds_per_gb * (input_size.gb) + context.extra_cpu.seconds
-
-            step = ProcessingStep.create(
-                module=name,
-                version=output.version,
-                params={"site": stage.site},
-                inputs=sorted(dataset.dataset_id for dataset in stage_inputs.values()),
+            cpu_seconds = (
+                stage.cpu_seconds_per_gb * input_size.gb + result.extra_cpu_seconds
             )
-            parents = [
-                prov_ids[pred] for pred in flow.predecessors(name) if pred in prov_ids
-            ]
-            record = self.provenance.record(artifact=output.name, step=step, parents=parents)
-            output.provenance_id = record.record_id
-            prov_ids[name] = record.record_id
 
-            produced[name] = output
-            live_bytes += output.size.bytes
+            live_bytes += result.output.size.bytes
             peak_bytes = max(peak_bytes, live_bytes)
+            if name in seeds:
+                live_bytes -= seeds[name].size.bytes
             for pred in flow.predecessors(name):
                 remaining_consumers[pred] -= 1
                 if remaining_consumers[pred] == 0:
-                    live_bytes -= produced[pred].size.bytes
+                    live_bytes -= results[pred].output.size.bytes
 
             report.stages.append(
                 StageReport(
                     name=name,
                     site=stage.site,
                     input_size=input_size,
-                    output_size=output.size,
+                    output_size=result.output.size,
                     cpu_time=Duration(cpu_seconds),
-                    provenance_id=record.record_id,
+                    provenance_id=reserved[name],
                 )
             )
 
-        report.outputs = {name: produced[name] for name in flow.sinks()}
+        report.outputs = {name: results[name].output for name in flow.sinks()}
         report.peak_live_storage = DataSize(peak_bytes)
         return report
+
+
+class ParallelEngine(Engine):
+    """An :class:`Engine` preset that fans independent stages out across a
+    thread pool.  ``ParallelEngine(max_workers=N)`` ==
+    ``Engine(max_workers=N)``; the subclass exists so call sites can name
+    the execution strategy they require."""
+
+    def __init__(
+        self,
+        provenance: Optional[ProvenanceStore] = None,
+        seed: int = 0,
+        max_workers: int = 4,
+    ):
+        super().__init__(provenance=provenance, seed=seed, max_workers=max_workers)

@@ -23,6 +23,7 @@ from __future__ import annotations
 import hashlib
 import itertools
 import json
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
@@ -151,40 +152,68 @@ class ProvenanceStore:
     This plays the role of the "metadata DB" that fine-grained tracking
     would need.  Records are immutable once added; lineage is queried by
     record id.
+
+    Record ids are allocated from a per-store counter, so a fresh store
+    always numbers its records ``prov-000001``, ``prov-000002``, ... in
+    allocation order — which is what lets a parallel engine run reproduce a
+    sequential run's ids exactly (ids are reserved in topological order,
+    then attached to records as stages complete).  Recording is guarded by
+    a lock, so concurrently completing stages may register records safely.
     """
 
     def __init__(self) -> None:
         self._records: Dict[str, ProvenanceRecord] = {}
         self._by_artifact: Dict[str, List[str]] = {}
+        self._lock = threading.RLock()
+        self._counter = itertools.count(1)
 
     def __len__(self) -> int:
         return len(self._records)
+
+    def reserve_id(self) -> str:
+        """Allocate the next record id without creating a record yet.
+
+        Callers that need deterministic ids under concurrent recording
+        (the parallel engine) reserve ids up front in a deterministic
+        order and pass them to :meth:`record` later.
+        """
+        with self._lock:
+            return f"prov-{next(self._counter):06d}"
 
     def record(
         self,
         artifact: str,
         step: ProcessingStep,
         parents: Sequence[str] = (),
+        record_id: Optional[str] = None,
     ) -> ProvenanceRecord:
         """Register a new derivation and return its record.
 
         The new record's stamp extends the stamps of its parents, so the
         file-level summary and the graph stay consistent by construction.
+        ``record_id`` may be a previously :meth:`reserve_id`-d id; if
+        omitted, the next id is allocated here.
         """
-        parent_records = [self._get(parent_id) for parent_id in parents]
-        if parent_records:
-            stamp = ProvenanceStamp.merged([p.stamp for p in parent_records], step)
-        else:
-            stamp = ProvenanceStamp.initial(step)
-        rec = ProvenanceRecord(
-            artifact=artifact,
-            step=step,
-            parent_ids=tuple(parents),
-            stamp=stamp,
-        )
-        self._records[rec.record_id] = rec
-        self._by_artifact.setdefault(artifact, []).append(rec.record_id)
-        return rec
+        with self._lock:
+            if record_id is None:
+                record_id = self.reserve_id()
+            elif record_id in self._records:
+                raise ProvenanceError(f"duplicate provenance record id {record_id!r}")
+            parent_records = [self._get(parent_id) for parent_id in parents]
+            if parent_records:
+                stamp = ProvenanceStamp.merged([p.stamp for p in parent_records], step)
+            else:
+                stamp = ProvenanceStamp.initial(step)
+            rec = ProvenanceRecord(
+                artifact=artifact,
+                step=step,
+                parent_ids=tuple(parents),
+                record_id=record_id,
+                stamp=stamp,
+            )
+            self._records[rec.record_id] = rec
+            self._by_artifact.setdefault(artifact, []).append(rec.record_id)
+            return rec
 
     def _get(self, record_id: str) -> ProvenanceRecord:
         try:

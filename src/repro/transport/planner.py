@@ -122,6 +122,11 @@ def crossover_bandwidth(
 
     Below the returned rate, shipping disks delivers the volume sooner;
     above it, the network wins.  Solved by bisection on nominal Mb/s.
+
+    Raises :class:`TransportError` when no crossover exists in the
+    searchable range: either the volume is so small that even a 0.01 Mb/s
+    trickle beats the shipment's fixed transit time (the bracket has no
+    lower end), or so large that not even a petabit link catches the truck.
     """
     target = spec.one_way_time(volume).seconds
     if target <= 0:
@@ -133,6 +138,12 @@ def crossover_bandwidth(
         return link.transfer_time(volume).seconds
 
     low, high = 0.01, 0.02
+    if network_seconds(low) <= target:
+        raise TransportError(
+            f"no crossover above {low} Mb/s: even that link moves {volume} "
+            f"faster than the {spec.name!r} shipment; volume too small for "
+            "a meaningful sneakernet comparison"
+        )
     while network_seconds(high) > target:
         high *= 2
         if high > 1e9:

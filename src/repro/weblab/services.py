@@ -159,23 +159,44 @@ def build_weblab(
     n_crawls: int = 6,
     preload_config: Optional[PreloadConfig] = None,
     link: NetworkLink = INTERNET2_100,
+    workers: int = 1,
 ) -> Tuple[WebLab, WebLabBuildReport, SyntheticWeb]:
     """Synthesize, pack, transfer, and preload a whole WebLab.
 
+    ``workers`` fans the per-crawl ARC/DAT packing out across a thread
+    pool and becomes the preload subsystem's parser parallelism (unless an
+    explicit ``preload_config`` already pins it).  Crawls pack into
+    disjoint files and results merge in crawl order, so the built WebLab
+    is identical for any worker count.
+
     Returns (weblab, build report, the synthetic web with its ground truth).
     """
+    if workers < 1:
+        raise WebLabError("need at least one worker")
     root = Path(root)
     incoming = root / "incoming"
+    incoming.mkdir(parents=True, exist_ok=True)
     web = SyntheticWeb(web_config)
     crawls = web.generate_crawls(n_crawls)
 
-    arc_jobs: List[Tuple[Path, int]] = []
-    dat_jobs: List[Tuple[Path, int]] = []
-    for crawl in crawls:
+    def pack_one(crawl: CrawlSnapshot) -> Tuple[List[Path], List[Path]]:
         arc_paths = pack_crawl(crawl.pages, incoming, f"crawl{crawl.crawl_index:02d}")
         dat_paths = pack_crawl_metadata(
             crawl.pages, arc_paths, incoming, f"crawl{crawl.crawl_index:02d}"
         )
+        return arc_paths, dat_paths
+
+    if workers > 1:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            packed = list(pool.map(pack_one, crawls))
+    else:
+        packed = [pack_one(crawl) for crawl in crawls]
+
+    arc_jobs: List[Tuple[Path, int]] = []
+    dat_jobs: List[Tuple[Path, int]] = []
+    for crawl, (arc_paths, dat_paths) in zip(crawls, packed):
         arc_jobs.extend((path, crawl.crawl_index) for path in arc_paths)
         dat_jobs.extend((path, crawl.crawl_index) for path in dat_paths)
 
@@ -187,6 +208,8 @@ def build_weblab(
     weblab = WebLab(root / "weblab")
     for crawl in crawls:
         weblab.database.register_crawl(crawl.crawl_index, crawl.crawl_time)
+    if preload_config is None and workers > 1:
+        preload_config = PreloadConfig(workers=workers)
     preloader = PreloadSubsystem(weblab.database, weblab.pagestore, preload_config)
     stats = preloader.run(arc_jobs, dat_jobs)
 

@@ -10,7 +10,7 @@ from repro.arecibo.telescope import ObservationConfig
 
 
 @pytest.fixture(scope="module")
-def transient_report(tmp_path_factory):
+def transient_run(tmp_path_factory):
     config = AreciboPipelineConfig(
         n_pointings=4,
         observation=ObservationConfig(n_channels=48, n_samples=4096),
@@ -23,7 +23,13 @@ def transient_report(tmp_path_factory):
             snr_range=(15.0, 30.0),
         ),
     )
-    return run_arecibo_pipeline(tmp_path_factory.mktemp("transients"), config)
+    workdir = tmp_path_factory.mktemp("transients")
+    return workdir, run_arecibo_pipeline(workdir, config)
+
+
+@pytest.fixture(scope="module")
+def transient_report(transient_run):
+    return transient_run[1]
 
 
 class TestTransientPipeline:
@@ -55,6 +61,50 @@ class TestTransientPipeline:
         assert db.transients(pointing_id=99) == []
         assert len(db.transients(pointing_id=3)) == 2
         db.close()
+
+    def test_transient_beam_ids_match_sifted_convention(self, transient_run):
+        """Transient rows carry telescope beam ids (``filterbank.beam``),
+        the same convention candidate rows use — not list positions."""
+        from repro.arecibo.sky import N_BEAMS
+
+        workdir, report = transient_run
+        db = CandidateDatabase(workdir / "candidates.db")
+        try:
+            transient_rows = db.transients()
+            candidate_beams = {
+                row["beam"]
+                for pointing in report.pointings
+                for row in db.candidates_at(pointing.pointing_id)
+            }
+        finally:
+            db.close()
+        assert len(transient_rows) == report.transient_count > 0
+
+        # Both tables draw beam ids from the same 0..N_BEAMS-1 id space.
+        beam_id_space = set(range(N_BEAMS))
+        assert {row["beam"] for row in transient_rows} <= beam_id_space
+        assert candidate_beams <= beam_id_space
+
+        # Stronger: every recovered injected transient must be recorded
+        # under the beam the sky model injected it into.  Recording the
+        # list position instead of ``filterbank.beam`` would scramble this
+        # whenever quieter beams produce no events.
+        duration = report.config.observation.duration_s
+        matched = 0
+        for pointing in report.pointings:
+            for true_beam, transients in enumerate(pointing.transients_by_beam):
+                for truth in transients:
+                    expected_time = truth.time_s * duration
+                    hits = [
+                        row
+                        for row in transient_rows
+                        if row["pointing_id"] == pointing.pointing_id
+                        and abs(row["time_s"] - expected_time) <= 0.05 * duration
+                    ]
+                    if hits:
+                        matched += 1
+                        assert {row["beam"] for row in hits} == {true_beam}
+        assert matched == report.score.transients_recovered > 0
 
     def test_transient_recall_property_when_none_injected(self, tmp_path):
         config = AreciboPipelineConfig(

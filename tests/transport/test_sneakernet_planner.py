@@ -218,3 +218,18 @@ class TestPlanner:
         small = crossover_bandwidth(DataSize.terabytes(1), ARECIBO_TO_CTC)
         large = crossover_bandwidth(DataSize.terabytes(50), ARECIBO_TO_CTC)
         assert large.mbps > small.mbps
+
+    def test_crossover_rejects_degenerate_tiny_volume(self):
+        """A volume a trickle link beats has no lower bracket: the search
+        must refuse instead of bisecting a bracket that never contained
+        the answer."""
+        with pytest.raises(TransportError, match="no crossover"):
+            crossover_bandwidth(DataSize.megabytes(1), ARECIBO_TO_CTC)
+
+    def test_crossover_rejects_nonpositive_shipment_time(self):
+        class Teleporter(ShipmentSpec):
+            def one_way_time(self, volume):
+                return Duration(0.0)
+
+        with pytest.raises(TransportError, match="positive"):
+            crossover_bandwidth(DataSize.terabytes(1), Teleporter("teleporter"))
