@@ -8,7 +8,6 @@ cutting falses without costing recall.
 """
 
 import numpy as np
-import pytest
 
 from repro.arecibo.candidates import SiftedCandidate, match_to_truth, sift
 from repro.arecibo.dedisperse import DMGrid, dedisperse, dedisperse_all

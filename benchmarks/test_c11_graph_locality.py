@@ -16,7 +16,6 @@ import pytest
 
 from repro.weblab.cluster import PartitionedGraph, compare_locality
 from repro.weblab.synthweb import SyntheticWeb, SyntheticWebConfig
-from repro.weblab.webgraph import compute_stats
 
 import networkx as nx
 

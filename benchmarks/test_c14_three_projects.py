@@ -15,15 +15,19 @@ import math
 import os
 import time
 
-import pytest
 
 from repro.arecibo.pipeline import AreciboPipelineConfig, run_arecibo_pipeline
 from repro.arecibo.sky import SkyModel
 from repro.arecibo.telescope import ObservationConfig
+from repro.core.telemetry import (
+    flow_summary_from_log,
+    peak_storage_from_log,
+    read_event_log,
+    total_cpu_from_log,
+)
 from repro.core.units import DataSize, Duration, Rate
 from repro.storage.media import USB_DISK_2005
 from repro.transport.network import ARECIBO_UPLINK, INTERNET2_100, NetworkLink
-from repro.transport.planner import TransportPlanner, evaluate_network, evaluate_sneakernet
 from repro.transport.sneakernet import ARECIBO_TO_CTC, ShipmentSpec
 
 # The three projects' raw-data situations, as the paper states them.
@@ -178,3 +182,28 @@ def test_c14_parallel_speedup(tmp_path, report_rows):
         assert timings[1] / timings[4] > 1.1
 
     report_rows("C14: parallel speedup on the Figure-1 process stage", rows)
+
+
+def test_c14_report_from_event_log(tmp_path, report_rows):
+    """The C14 flow table regenerates from the persisted JSONL log alone.
+
+    Every pipeline run writes ``telemetry.jsonl`` into its workdir; the
+    benchmark report must be reproducible offline from that file, without
+    re-running the flow or keeping the live FlowReport around.
+    """
+    workdir = tmp_path / "replay"
+    live = run_arecibo_pipeline(workdir, _speedup_config(17, 2))
+
+    events = read_event_log(workdir / "telemetry.jsonl")
+    replayed_rows = flow_summary_from_log(events)
+
+    assert replayed_rows == live.flow_report.summary_rows()
+    assert (
+        peak_storage_from_log(events).bytes
+        == live.flow_report.peak_live_storage.bytes
+    )
+    assert (
+        total_cpu_from_log(events).seconds
+        == live.flow_report.total_cpu_time.seconds
+    )
+    report_rows("C14: Figure-1 flow table replayed from telemetry.jsonl", replayed_rows)

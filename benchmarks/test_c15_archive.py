@@ -12,12 +12,11 @@ Paper claims regenerated here:
 
 import random
 
-import pytest
 
 from repro.core.resources import DISK_COST_2005, TAPE_COST_2005
-from repro.core.units import DataSize, Duration, Rate
+from repro.core.units import DataSize, Duration
 from repro.storage.archive import LongTermArchive
-from repro.storage.media import LTO3_TAPE, LTO5_TAPE, MediaType
+from repro.storage.media import LTO3_TAPE, LTO5_TAPE
 
 
 def run_policy(policy, copies, seed, n_files=60, file_gb=20, years=20):

@@ -12,10 +12,9 @@ Paper claims regenerated here:
   so for *it* the network wins.
 """
 
-import pytest
 
-from repro.core.units import DataSize, Rate
-from repro.transport.network import ARECIBO_UPLINK, INTERNET2_100, NetworkLink
+from repro.core.units import DataSize
+from repro.transport.network import ARECIBO_UPLINK, INTERNET2_100
 from repro.transport.planner import (
     TransportPlanner,
     crossover_bandwidth,

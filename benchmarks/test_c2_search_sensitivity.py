@@ -14,7 +14,6 @@ buys nothing for near-sinusoidal signals.  C2b sweeps the DM grid.
 """
 
 import numpy as np
-import pytest
 
 from repro.arecibo.candidates import match_to_truth, sift
 from repro.arecibo.dedisperse import DMGrid, dedisperse

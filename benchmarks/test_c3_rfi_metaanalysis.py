@@ -12,7 +12,6 @@ Paper claims regenerated here:
 """
 
 import numpy as np
-import pytest
 
 from repro.arecibo.candidates import match_to_truth, sift
 from repro.arecibo.dedisperse import DMGrid, dedisperse_all

@@ -10,8 +10,6 @@ Figure 1 over a binary-rich sky with and without trials shows the recall
 gained — and the false-candidate cost of the extra trials factor.
 """
 
-import numpy as np
-import pytest
 
 from repro.arecibo.accelsearch import accel_search, acceleration_trials
 from repro.arecibo.dedisperse import dedisperse

@@ -11,7 +11,6 @@ Paper claims regenerated here:
   reprocessed data.
 """
 
-import pytest
 
 from repro.eventstore.model import run_key
 from repro.eventstore.provenance import stamp_step

@@ -12,9 +12,7 @@ direct writes (failing mid-job) vs produce-into-personal-then-merge
 end-to-end ingest throughput of the merge path.
 """
 
-import pytest
 
-from repro.core.errors import EventStoreError
 from repro.eventstore.merge import merge_into
 from repro.eventstore.provenance import stamp_step
 from repro.eventstore.scales import CollaborationEventStore, PersonalEventStore

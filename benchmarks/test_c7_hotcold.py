@@ -10,9 +10,9 @@ Paper claims regenerated here:
   small fraction of the bytes a monolithic layout forces through.
 """
 
-import numpy as np
 import pytest
 
+from repro.core.units import DataSize, Duration, Rate
 from repro.eventstore.model import ASU, Event
 from repro.eventstore.partition import (
     AccessProfile,
@@ -20,6 +20,9 @@ from repro.eventstore.partition import (
     write_partitioned_run,
 )
 from repro.eventstore.provenance import stamp_step
+from repro.storage.hsm import HierarchicalStore, HsmStats
+from repro.storage.media import MediaType
+from repro.storage.tape import RoboticTapeLibrary
 
 
 def sized_events(count, hot_bytes=32, warm_bytes=512, cold_bytes=4096):
@@ -100,3 +103,84 @@ def test_c7_hot_cold_partitioning(benchmark, tmp_path, report_rows):
     merged = list(partitioned.events(["hot", "warm", "cold"]))
     assert merged[0].asu_names == ["rawhits", "summary", "tracks"]
     report_rows("C7: hot/warm/cold column partitioning", rows)
+
+
+def _hsm_tape():
+    return MediaType(
+        name="bench tape",
+        capacity=DataSize.gigabytes(100),
+        read_rate=Rate.megabytes_per_second(100),
+        write_rate=Rate.megabytes_per_second(100),
+        mount_latency=Duration.from_seconds(60),
+        unit_cost=50.0,
+    )
+
+
+def hsm_tier_rows():
+    """Drive the C7 access pattern through per-temperature HSM stores.
+
+    Each temperature tier gets its own :class:`HierarchicalStore` sized to
+    its working set; the fleet-wide row is an :meth:`HsmStats.merge` over
+    the tiers — the aggregate view an operator of the real CLEO HSM reads.
+    """
+    tiers = {
+        # Hot data fits its cache; cold is deliberately cache-starved.
+        "hot": (DataSize.gigabytes(20), 10),
+        "warm": (DataSize.gigabytes(4), 4),
+        "cold": (DataSize.gigabytes(1), 2),
+    }
+    stores = {}
+    for tier, (cache, n_files) in tiers.items():
+        library = RoboticTapeLibrary(f"cleo-{tier}", _hsm_tape())
+        store = HierarchicalStore(library, cache_capacity=cache)
+        for index in range(n_files):
+            store.store(f"{tier}-{index}", DataSize.gigabytes(1))
+        stores[tier] = (store, n_files)
+    # Replay the usage_profile() working sets as reads against the tiers.
+    tier_of = {"summary": "hot", "tracks": "warm", "rawhits": "cold"}
+    working_sets = (
+        [["summary"]] * 17
+        + [["summary", "tracks"]] * 2
+        + [["summary", "tracks", "rawhits"]]
+    )
+    for working_set in working_sets:
+        for asu in working_set:
+            store, n_files = stores[tier_of[asu]]
+            for index in range(n_files):
+                store.read(f"{tier_of[asu]}-{index}")
+    per_tier = {tier: store.stats for tier, (store, _) in stores.items()}
+    fleet = HsmStats.merge(per_tier.values())
+    rows = [
+        {
+            "store": tier,
+            "hits": stats.hits,
+            "recalls": stats.misses,
+            "hit rate": f"{stats.hit_rate * 100:.0f} %",
+            "recalled": f"{stats.bytes_recalled / 1e9:.0f} GB",
+        }
+        for tier, stats in per_tier.items()
+    ]
+    rows.append(
+        {
+            "store": "fleet (merged)",
+            "hits": fleet.hits,
+            "recalls": fleet.misses,
+            "hit rate": f"{fleet.hit_rate * 100:.0f} %",
+            "recalled": f"{fleet.bytes_recalled / 1e9:.0f} GB",
+        }
+    )
+    return rows, per_tier, fleet
+
+
+def test_c7_hsm_tier_aggregation(report_rows):
+    rows, per_tier, fleet = hsm_tier_rows()
+    # The merge is exactly the sum of the per-tier counters.
+    assert fleet.hits == sum(stats.hits for stats in per_tier.values())
+    assert fleet.misses == sum(stats.misses for stats in per_tier.values())
+    assert fleet.bytes_recalled == pytest.approx(
+        sum(stats.bytes_recalled for stats in per_tier.values())
+    )
+    # The hot tier dominates traffic, so the fleet hit rate sits close to
+    # the hot tier's and far above the cold tier's.
+    assert per_tier["hot"].hit_rate > fleet.hit_rate > per_tier["cold"].hit_rate
+    report_rows("C7: per-tier HSM stores and the merged fleet view", rows)

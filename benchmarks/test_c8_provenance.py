@@ -10,7 +10,6 @@ Paper claims regenerated here:
   will be inappropriate to store it in the headers of the data files".
 """
 
-import pytest
 
 from repro.eventstore.fileformat import FileHeader, open_event_file, write_event_file
 from repro.eventstore.provenance import (

@@ -11,7 +11,6 @@ Paper claims regenerated here:
   DAT files to be processed together".
 """
 
-import shutil
 
 import pytest
 

@@ -11,12 +11,10 @@ Paper claims regenerated here:
   consolidate into the database → meta-analysis.
 """
 
-import pytest
 
 from repro.arecibo.pipeline import AreciboPipelineConfig, run_arecibo_pipeline
 from repro.arecibo.sky import SkyModel
 from repro.arecibo.telescope import ObservationConfig
-from repro.core.units import DataSize, Duration
 
 
 def run_flow(tmp_path):

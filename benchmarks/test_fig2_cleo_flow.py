@@ -9,7 +9,6 @@ Paper claims regenerated here:
   merged back; analysis pinned to grade+timestamp is reproducible.
 """
 
-import pytest
 
 from repro.cleo.analysis import AnalysisJob
 from repro.cleo.pipeline import CleoPipelineConfig, run_cleo_pipeline

@@ -20,7 +20,6 @@ from repro.arecibo import (
     SkyModel,
     run_arecibo_pipeline,
 )
-from repro.core.units import Duration
 
 
 def main() -> None:

@@ -20,7 +20,7 @@ from repro.cleo import (
     CleoPipelineConfig,
     run_cleo_pipeline,
 )
-from repro.eventstore import CollaborationEventStore, run_key
+from repro.eventstore import CollaborationEventStore
 
 
 def main() -> None:

@@ -12,15 +12,11 @@ then run the ordinary Fourier search on the resampled series.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence
 
 import numpy as np
 
-from repro.arecibo.fourier import (
-    DEFAULT_HARMONICS,
-    FourierCandidate,
-    search_spectrum,
-)
+from repro.arecibo.fourier import DEFAULT_HARMONICS, search_spectrum
 from repro.arecibo.telescope import C_SIM
 from repro.core.errors import SearchError
 

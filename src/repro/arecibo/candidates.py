@@ -10,8 +10,8 @@ dispersed signals peak at a nonzero DM, RFI peaks at DM 0).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
 
 from repro.arecibo.fourier import FourierCandidate
 from repro.core.errors import SearchError

@@ -13,7 +13,7 @@ import json
 import struct
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Tuple, Union
+from typing import Union
 
 import numpy as np
 

@@ -9,7 +9,7 @@ matched-filter S/N confirms (or kills) the Fourier detection.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -16,11 +16,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Iterable, List, Optional, Union
 
 from repro.arecibo.candidates import SiftedCandidate
-from repro.core.errors import SearchError
-from repro.db.connection import Database, SqliteBackend, connect
+from repro.db.connection import Database, connect
 from repro.db.query import Select
 from repro.db.schema import Schema, apply_schema, column
 

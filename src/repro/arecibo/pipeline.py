@@ -14,7 +14,7 @@ import random
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -33,6 +33,7 @@ from repro.arecibo.telescope import ObservationConfig, ObservationSimulator
 from repro.core.dataflow import DataFlow
 from repro.core.dataset import Dataset
 from repro.core.engine import Engine, FlowReport
+from repro.core.telemetry import write_event_log
 from repro.core.units import DataSize, Duration
 from repro.storage.media import LTO3_TAPE
 from repro.storage.tape import RoboticTapeLibrary
@@ -394,6 +395,7 @@ def run_arecibo_pipeline(
                "meta-analysis")
 
     flow_report = Engine(seed=config.seed, max_workers=config.workers).run(flow)
+    write_event_log(workdir / "telemetry.jsonl", flow_report.events)
 
     # Score detections against ground truth.
     injected = [p for pointing in pointings for p in pointing.all_pulsars()]

@@ -9,7 +9,7 @@ series, thresholding, and clustering of overlapping detections.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence
 
 import numpy as np
 

@@ -15,15 +15,14 @@ job with tightened cuts whose provenance extends the previous iteration's.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Optional
 
 import numpy as np
 
 from repro.core.errors import EventStoreError
 from repro.core.provenance import ProvenanceStamp
 from repro.cleo.reconstruction import ASU_TRACKS, tracks_of
-from repro.eventstore.model import Event
 from repro.eventstore.partition import AccessProfile
 from repro.eventstore.provenance import stamp_step
 from repro.eventstore.store import EventStore

@@ -14,15 +14,15 @@ so volume accounting can be projected back up).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Tuple
 
 import numpy as np
 
 from repro.core.errors import EventStoreError
 from repro.core.units import Duration
 from repro.eventstore.arrays import array_asu, asu_array
-from repro.eventstore.model import ASU, Event, Run
+from repro.eventstore.model import Event, Run
 
 # Raw-event ASU names.
 ASU_HITS = "hits"          # (n_tracks, n_planes) float32 measured positions

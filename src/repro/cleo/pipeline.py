@@ -10,9 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Union
 
-import numpy as np
 
 from repro.cleo.analysis import AnalysisJob, AnalysisResult
 from repro.cleo.calibration import perfect_calibration, true_misalignment
@@ -23,7 +22,8 @@ from repro.cleo.reconstruction import Reconstructor
 from repro.core.dataflow import DataFlow
 from repro.core.dataset import Dataset
 from repro.core.engine import Engine, FlowReport
-from repro.core.units import DataSize, Duration
+from repro.core.telemetry import write_event_log
+from repro.core.units import DataSize
 from repro.eventstore.hsm_store import HsmEventStore
 from repro.eventstore.merge import merge_into
 from repro.eventstore.model import Run, run_key
@@ -206,6 +206,7 @@ def run_cleo_pipeline(
     flow.connect("monte-carlo", "physics-analysis", label="simulation")
 
     flow_report = Engine(seed=config.seed, max_workers=config.workers).run(flow)
+    write_event_log(workdir / "telemetry.jsonl", flow_report.events)
 
     sizes_by_kind: Dict[str, DataSize] = {}
     for kind in ("raw", "recon", "postrecon", "mc"):

@@ -14,8 +14,8 @@ running anything.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set
 
 from repro.core.dataset import Dataset
 from repro.core.errors import DataflowError

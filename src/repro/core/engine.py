@@ -27,6 +27,15 @@ Parallel execution preserves *exact* sequential semantics:
 * storage and CPU accounting are replayed over the completed stages in
   topological order, so ``peak_live_storage`` and every
   :class:`StageReport` row match the sequential run exactly.
+
+Accounting itself lives on the :mod:`repro.core.telemetry` substrate: the
+replay emits a typed event stream (``flow.start``, ``stage.start/finish``,
+``bytes.produced``, ``provenance.record``, ``flow.finish``, wrapped in
+nested trace spans) and the :class:`FlowReport` is a *view* rebuilt from
+that stream.  Because emission happens during the topological replay, a
+parallel run's event log is byte-identical to the sequential run's once
+wall-clock fields are stripped — and a persisted JSONL log can regenerate
+the report offline (see :func:`repro.core.telemetry.flow_summary_from_log`).
 """
 
 from __future__ import annotations
@@ -41,6 +50,12 @@ from repro.core.dataflow import DataFlow, Stage
 from repro.core.dataset import Dataset
 from repro.core.errors import ExecutionError
 from repro.core.provenance import ProcessingStep, ProvenanceStore
+from repro.core.telemetry import (
+    Telemetry,
+    TelemetryEvent,
+    peak_storage_from_log,
+    stage_rows_from_log,
+)
 from repro.core.units import DataSize, Duration
 
 
@@ -94,6 +109,11 @@ class FlowReport:
     outputs: Dict[str, Dataset] = field(default_factory=dict)
     peak_live_storage: DataSize = field(default_factory=DataSize.zero)
     provenance: Optional[ProvenanceStore] = field(default=None, repr=False)
+    #: The substrate this run emitted into, and the run's own event slice.
+    #: ``summary_rows()`` and friends are views over ``events`` — a
+    #: persisted copy of the slice regenerates the report offline.
+    telemetry: Optional[Telemetry] = field(default=None, repr=False)
+    events: List[TelemetryEvent] = field(default_factory=list, repr=False)
 
     @property
     def total_cpu_time(self) -> Duration:
@@ -189,6 +209,11 @@ class Engine:
         ``1`` executes stages sequentially in the calling thread;
         ``N > 1`` runs independent stages concurrently on a thread pool
         while producing byte-identical reports and provenance.
+    telemetry:
+        The substrate runs emit into.  Each engine owns a private
+        :class:`~repro.core.telemetry.Telemetry` by default, so a run's
+        event log starts at sequence 0 and is reproducible — pass a shared
+        instance to interleave several flows into one stream.
     """
 
     def __init__(
@@ -196,10 +221,12 @@ class Engine:
         provenance: Optional[ProvenanceStore] = None,
         seed: int = 0,
         max_workers: int = 1,
+        telemetry: Optional[Telemetry] = None,
     ):
         if max_workers < 1:
             raise ExecutionError("engine", f"max_workers must be >= 1, got {max_workers}")
         self.provenance = provenance if provenance is not None else ProvenanceStore()
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
         self._seed = seed
         self._max_workers = int(max_workers)
 
@@ -385,48 +412,109 @@ class Engine:
         reserved: Mapping[str, str],
         results: Mapping[str, _StageResult],
     ) -> FlowReport:
-        """Replay storage/CPU accounting over completed stages in
-        topological order — identical output for any completion order."""
-        report = FlowReport(flow_name=flow.name, provenance=self.provenance)
+        """Replay accounting over completed stages in topological order,
+        emitting the telemetry event stream, then rebuild the report as a
+        view over that stream — identical output for any completion order."""
+        telemetry = self.telemetry
+        metrics = telemetry.registry
+        start_index = len(telemetry)
         # Reference counts drive the live-storage high-water accounting: a
         # stage output stays "on disk" until every consumer has run, and a
         # seed dataset is live from the start until its consumer completes.
         remaining_consumers = {name: len(flow.successors(name)) for name in order}
         live_bytes = sum(dataset.size.bytes for dataset in seeds.values())
         peak_bytes = live_bytes
-        for name in order:
-            stage = flow.stages[name]
-            result = results[name]
-            stage_inputs = self._stage_inputs(flow, name, seeds, results)
-            input_size = DataSize(
-                sum(dataset.size.bytes for dataset in stage_inputs.values())
+        total_cpu_seconds = 0.0
+        with telemetry.span(flow.name):
+            telemetry.emit(
+                "flow.start", flow.name, stages=len(order), seed_bytes=live_bytes
             )
-            cpu_seconds = (
-                stage.cpu_seconds_per_gb * input_size.gb + result.extra_cpu_seconds
+            for name in order:
+                stage = flow.stages[name]
+                result = results[name]
+                stage_inputs = self._stage_inputs(flow, name, seeds, results)
+                input_size = DataSize(
+                    sum(dataset.size.bytes for dataset in stage_inputs.values())
+                )
+                cpu_seconds = (
+                    stage.cpu_seconds_per_gb * input_size.gb + result.extra_cpu_seconds
+                )
+                total_cpu_seconds += cpu_seconds
+
+                with telemetry.span(name, site=stage.site):
+                    telemetry.emit(
+                        "stage.start",
+                        name,
+                        site=stage.site,
+                        input_bytes=input_size.bytes,
+                    )
+                    telemetry.clock.advance(cpu_seconds)
+                    live_bytes += result.output.size.bytes
+                    peak_bytes = max(peak_bytes, live_bytes)
+                    if name in seeds:
+                        live_bytes -= seeds[name].size.bytes
+                    for pred in flow.predecessors(name):
+                        remaining_consumers[pred] -= 1
+                        if remaining_consumers[pred] == 0:
+                            live_bytes -= results[pred].output.size.bytes
+                    telemetry.emit(
+                        "bytes.produced",
+                        name,
+                        bytes=result.output.size.bytes,
+                        artifact=result.output.name,
+                    )
+                    telemetry.emit(
+                        "provenance.record",
+                        name,
+                        record_id=reserved[name],
+                        artifact=result.output.name,
+                        parents=[reserved[pred] for pred in flow.predecessors(name)],
+                    )
+                    telemetry.emit(
+                        "stage.finish",
+                        name,
+                        site=stage.site,
+                        input_bytes=input_size.bytes,
+                        output_bytes=result.output.size.bytes,
+                        cpu_seconds=cpu_seconds,
+                        provenance_id=reserved[name],
+                        live_bytes=live_bytes,
+                    )
+                metrics.counter("engine.stages").inc()
+                metrics.counter("engine.bytes_produced").inc(result.output.size.bytes)
+                metrics.counter("engine.cpu_seconds").inc(cpu_seconds)
+                metrics.highwater("engine.peak_live_bytes").observe(peak_bytes)
+            telemetry.emit(
+                "flow.finish",
+                flow.name,
+                stages=len(order),
+                peak_bytes=peak_bytes,
+                total_cpu_seconds=total_cpu_seconds,
             )
 
-            live_bytes += result.output.size.bytes
-            peak_bytes = max(peak_bytes, live_bytes)
-            if name in seeds:
-                live_bytes -= seeds[name].size.bytes
-            for pred in flow.predecessors(name):
-                remaining_consumers[pred] -= 1
-                if remaining_consumers[pred] == 0:
-                    live_bytes -= results[pred].output.size.bytes
-
+        # The report is a *view* over the event slice this run emitted:
+        # every StageReport row and the high-water mark are read back from
+        # the log, so a persisted copy regenerates the report exactly.
+        run_events = telemetry.events(start_index)
+        report = FlowReport(
+            flow_name=flow.name,
+            provenance=self.provenance,
+            telemetry=telemetry,
+            events=run_events,
+        )
+        for row in stage_rows_from_log(run_events):
             report.stages.append(
                 StageReport(
-                    name=name,
-                    site=stage.site,
-                    input_size=input_size,
-                    output_size=result.output.size,
-                    cpu_time=Duration(cpu_seconds),
-                    provenance_id=reserved[name],
+                    name=str(row["name"]),
+                    site=str(row["site"]),
+                    input_size=DataSize(float(row["input_bytes"])),
+                    output_size=DataSize(float(row["output_bytes"])),
+                    cpu_time=Duration(float(row["cpu_seconds"])),
+                    provenance_id=str(row["provenance_id"]),
                 )
             )
-
         report.outputs = {name: results[name].output for name in flow.sinks()}
-        report.peak_live_storage = DataSize(peak_bytes)
+        report.peak_live_storage = peak_storage_from_log(run_events)
         return report
 
 
@@ -441,5 +529,11 @@ class ParallelEngine(Engine):
         provenance: Optional[ProvenanceStore] = None,
         seed: int = 0,
         max_workers: int = 4,
+        telemetry: Optional[Telemetry] = None,
     ):
-        super().__init__(provenance=provenance, seed=seed, max_workers=max_workers)
+        super().__init__(
+            provenance=provenance,
+            seed=seed,
+            max_workers=max_workers,
+            telemetry=telemetry,
+        )

@@ -48,6 +48,10 @@ class IntegrityError(ReproError):
     """Checksum or fixity verification failed."""
 
 
+class TelemetryError(ReproError):
+    """Telemetry misuse: unknown event kind, malformed log, bad instrument."""
+
+
 class TransportError(ReproError):
     """Transfer planning or execution failure."""
 

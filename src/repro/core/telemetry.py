@@ -1,0 +1,524 @@
+"""Structured telemetry: one substrate for every book the paper keeps.
+
+The three case studies live or die by bookkeeping — bytes per stage, tape
+recalls, transfer rates, "50 to 200 processors" — and the reproduction
+used to keep those books in half a dozen disconnected counter structs.
+This module is the single substrate they all now share:
+
+* a process-local **event bus** of typed, ordered
+  :class:`TelemetryEvent` records (``stage.start/finish``,
+  ``bytes.produced``, ``storage.write/recall/evict``,
+  ``transfer.start/finish``, ``provenance.record``, ...);
+* a **metrics registry** of named instruments — :class:`Counter`,
+  :class:`Gauge`, and :class:`HighWaterMark` — that subsystem stats
+  properties (``HsmStats``, ``TapeStats``, ingest stats, service
+  counters) are thin adapters over;
+* nested **trace spans** stamped by a :class:`SimClock` (simulated
+  seconds, not wall-clock), so a log is reproducible run to run;
+* a **replayable JSONL log** — :func:`write_event_log` /
+  :func:`read_event_log` — plus view functions
+  (:func:`flow_summary_from_log`, :func:`stage_rows_from_log`,
+  :func:`peak_storage_from_log`) that regenerate a flow report offline
+  from a persisted log, with no engine or pipeline objects in sight.
+
+Determinism contract: every event carries a ``wall_time`` field (the only
+wall-clock field anywhere in the stream) and :meth:`TelemetryEvent.canonical`
+strips it.  Two runs of the same flow — sequential or thread-parallel —
+produce byte-identical canonical logs.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.core.errors import TelemetryError
+from repro.core.units import DataSize, Duration
+
+#: The typed vocabulary.  Emitting an unknown kind is a programming error:
+#: the whole point of a shared substrate is that consumers can rely on the
+#: schema of each kind.
+EVENT_KINDS = frozenset(
+    {
+        "flow.start",
+        "flow.finish",
+        "stage.start",
+        "stage.finish",
+        "bytes.produced",
+        "storage.write",
+        "storage.recall",
+        "storage.evict",
+        "transfer.start",
+        "transfer.finish",
+        "provenance.record",
+        "span.start",
+        "span.finish",
+        "service.call",
+        "integrity.verify",
+    }
+)
+
+_Scalar = Union[str, int, float, bool, None]
+
+
+def _freeze_attr(value: object) -> object:
+    """Coerce an attribute value to a JSON-stable, hashable form."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, DataSize):
+        return value.bytes
+    if isinstance(value, Duration):
+        return value.seconds
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze_attr(item) for item in value)
+    return str(value)
+
+
+def _thaw(value: object) -> object:
+    return list(value) if isinstance(value, tuple) else value
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One record on the bus.
+
+    ``sim_time`` is the emitting :class:`SimClock`'s virtual seconds;
+    ``wall_time`` is the only wall-clock field and is dropped by
+    :meth:`canonical` so logs can be compared across runs.
+    """
+
+    seq: int
+    kind: str
+    name: str
+    sim_time: float
+    attrs: Tuple[Tuple[str, object], ...] = ()
+    span: Tuple[str, ...] = ()
+    wall_time: float = 0.0
+
+    def attr(self, key: str, default: object = None) -> object:
+        for attr_key, value in self.attrs:
+            if attr_key == key:
+                return _thaw(value)
+        return default
+
+    def canonical(self) -> Dict[str, object]:
+        """Stable dict form with every wall-clock field stripped."""
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "name": self.name,
+            "sim_time": self.sim_time,
+            "span": list(self.span),
+            "attrs": {key: _thaw(value) for key, value in self.attrs},
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        record = self.canonical()
+        record["wall_time"] = self.wall_time
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, object]) -> "TelemetryEvent":
+        try:
+            attrs = record.get("attrs", {})
+            return cls(
+                seq=int(record["seq"]),  # type: ignore[arg-type]
+                kind=str(record["kind"]),
+                name=str(record["name"]),
+                sim_time=float(record["sim_time"]),  # type: ignore[arg-type]
+                attrs=tuple(
+                    (str(key), _freeze_attr(value))
+                    for key, value in attrs.items()  # type: ignore[union-attr]
+                ),
+                span=tuple(str(part) for part in record.get("span", ())),  # type: ignore[union-attr]
+                wall_time=float(record.get("wall_time", 0.0)),  # type: ignore[arg-type]
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TelemetryError(f"malformed telemetry record: {exc}") from exc
+
+
+class SimClock:
+    """A simulated clock: starts at zero, advances only when told to.
+
+    The engine advances it by each stage's simulated CPU seconds while it
+    replays accounting, so span and stage timestamps mean "simulated
+    seconds into the run" and are identical across execution strategies.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._lock = threading.Lock()
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise TelemetryError(f"cannot advance the clock by {seconds}")
+        with self._lock:
+            self._now += seconds
+            return self._now
+
+    def reset(self, to: float = 0.0) -> None:
+        with self._lock:
+            self._now = float(to)
+
+
+# -- instruments ---------------------------------------------------------
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock):
+        self.name = name
+        self._value = 0.0
+        self._lock = lock
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def inc(self, amount: float = 1.0) -> float:
+        if amount < 0:
+            raise TelemetryError(f"counter {self.name!r} cannot decrease")
+        with self._lock:
+            self._value += amount
+            return self._value
+
+
+class Gauge:
+    """A value that can move both ways (live bytes, busy seconds)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock):
+        self.name = name
+        self._value = 0.0
+        self._lock = lock
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> float:
+        with self._lock:
+            self._value = float(value)
+            return self._value
+
+    def add(self, amount: float) -> float:
+        with self._lock:
+            self._value += amount
+            return self._value
+
+
+class HighWaterMark:
+    """Tracks the maximum a quantity ever reached (peak live storage)."""
+
+    __slots__ = ("name", "_peak", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock):
+        self.name = name
+        self._peak = 0.0
+        self._lock = lock
+
+    @property
+    def peak(self) -> float:
+        return self._peak
+
+    def observe(self, value: float) -> float:
+        with self._lock:
+            if value > self._peak:
+                self._peak = float(value)
+            return self._peak
+
+
+Instrument = Union[Counter, Gauge, HighWaterMark]
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use.
+
+    A name is bound to exactly one instrument type for the registry's
+    lifetime; asking for the same name as a different type raises.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[str, Instrument] = {}
+
+    def _get_or_create(self, name: str, factory: Callable[..., Instrument]) -> Instrument:
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = factory(name, threading.Lock())
+                self._instruments[name] = instrument
+            elif not isinstance(instrument, factory):  # type: ignore[arg-type]
+                raise TelemetryError(
+                    f"instrument {name!r} is a {type(instrument).__name__}, "
+                    f"not a {factory.__name__}"
+                )
+            return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)  # type: ignore[return-value]
+
+    def highwater(self, name: str) -> HighWaterMark:
+        return self._get_or_create(name, HighWaterMark)  # type: ignore[return-value]
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            return default
+        if isinstance(instrument, HighWaterMark):
+            return instrument.peak
+        return instrument.value
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {name: self.value(name) for name in self.names()}
+
+
+# -- the bus -------------------------------------------------------------
+class Telemetry:
+    """The process-local substrate: event bus + registry + clock + spans.
+
+    Emission is thread-safe (sequence numbers and the log are guarded by
+    one lock); span nesting is tracked per thread so a worker pool cannot
+    corrupt another thread's span path.
+    """
+
+    def __init__(self, clock: Optional[SimClock] = None):
+        self.clock = clock if clock is not None else SimClock()
+        self.registry = MetricsRegistry()
+        self._events: List[TelemetryEvent] = []
+        self._lock = threading.Lock()
+        self._subscribers: List[Callable[[TelemetryEvent], None]] = []
+        self._spans = threading.local()
+
+    # -- events ----------------------------------------------------------
+    def emit(self, kind: str, name: str = "", **attrs: object) -> TelemetryEvent:
+        if kind not in EVENT_KINDS:
+            raise TelemetryError(
+                f"unknown event kind {kind!r}; expected one of {sorted(EVENT_KINDS)}"
+            )
+        frozen = tuple(sorted((key, _freeze_attr(value)) for key, value in attrs.items()))
+        span_path = tuple(getattr(self._spans, "stack", ()))
+        with self._lock:
+            event = TelemetryEvent(
+                seq=len(self._events),
+                kind=kind,
+                name=name,
+                sim_time=self.clock.now,
+                attrs=frozen,
+                span=span_path,
+                wall_time=time.time(),
+            )
+            self._events.append(event)
+        for subscriber in self._subscribers:
+            subscriber(event)
+        return event
+
+    def subscribe(self, callback: Callable[[TelemetryEvent], None]) -> None:
+        self._subscribers.append(callback)
+
+    def events(self, start: int = 0, kind: Optional[str] = None) -> List[TelemetryEvent]:
+        with self._lock:
+            window = self._events[start:]
+        if kind is None:
+            return window
+        return [event for event in window if event.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+    def canonical_log(self, start: int = 0) -> List[Dict[str, object]]:
+        return [event.canonical() for event in self.events(start)]
+
+    # -- spans -----------------------------------------------------------
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[TelemetryEvent]:
+        """Nested trace span; emits ``span.start``/``span.finish``.
+
+        The finish event records the span's simulated duration — the
+        clock delta between entry and exit.
+        """
+        stack: List[str] = getattr(self._spans, "stack", None) or []
+        started = self.clock.now
+        start_event = self.emit("span.start", name, depth=len(stack), **attrs)
+        self._spans.stack = stack + [name]
+        try:
+            yield start_event
+        finally:
+            self._spans.stack = stack
+            self.emit(
+                "span.finish",
+                name,
+                depth=len(stack),
+                elapsed_s=self.clock.now - started,
+                **attrs,
+            )
+
+
+# -- process default -----------------------------------------------------
+_default_lock = threading.Lock()
+_default: Optional[Telemetry] = None
+
+
+def get_telemetry() -> Telemetry:
+    """The process-local default substrate (created on first use).
+
+    Subsystems that are not handed an explicit :class:`Telemetry` publish
+    here, so one operational stream covers a whole process by default.
+    The engine deliberately does *not* use it: each engine owns a private
+    instance so a run's log is self-contained and deterministic.
+    """
+    global _default
+    with _default_lock:
+        if _default is None:
+            _default = Telemetry()
+        return _default
+
+
+def set_telemetry(telemetry: Optional[Telemetry]) -> Optional[Telemetry]:
+    """Install (or, with ``None``, reset) the process default; returns the old one."""
+    global _default
+    with _default_lock:
+        previous = _default
+        _default = telemetry
+        return previous
+
+
+@contextmanager
+def telemetry_session(telemetry: Optional[Telemetry] = None) -> Iterator[Telemetry]:
+    """Scoped default-telemetry override (tests, benchmark isolation)."""
+    session = telemetry if telemetry is not None else Telemetry()
+    previous = set_telemetry(session)
+    try:
+        yield session
+    finally:
+        set_telemetry(previous)
+
+
+# -- JSONL persistence ---------------------------------------------------
+def write_event_log(
+    path: Union[str, Path],
+    events: Union[Telemetry, Sequence[TelemetryEvent]],
+) -> int:
+    """Persist events as one JSON object per line; returns the count."""
+    if isinstance(events, Telemetry):
+        events = events.events()
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event.to_dict(), sort_keys=True))
+            handle.write("\n")
+    return len(events)
+
+
+def read_event_log(path: Union[str, Path]) -> List[TelemetryEvent]:
+    """Load a JSONL event log back into :class:`TelemetryEvent` objects."""
+    events: List[TelemetryEvent] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TelemetryError(
+                    f"{path}:{line_number}: not valid JSON: {exc}"
+                ) from exc
+            events.append(TelemetryEvent.from_dict(record))
+    return events
+
+
+def strip_wall_clock(
+    events: Iterable[TelemetryEvent],
+) -> List[Dict[str, object]]:
+    """Canonical (comparable) form of a log: wall-clock fields removed."""
+    return [event.canonical() for event in events]
+
+
+# -- views over a flow log -----------------------------------------------
+# These functions regenerate engine reports *offline* from a persisted
+# log.  They must stay in lock-step with what the engine emits — the
+# round-trip is pinned by tests (live FlowReport == replayed report).
+def stage_rows_from_log(
+    events: Iterable[TelemetryEvent],
+) -> List[Dict[str, object]]:
+    """Raw per-stage accounting from the ``stage.finish`` events."""
+    rows: List[Dict[str, object]] = []
+    for event in events:
+        if event.kind != "stage.finish":
+            continue
+        rows.append(
+            {
+                "name": event.name,
+                "site": event.attr("site"),
+                "input_bytes": float(event.attr("input_bytes", 0.0)),  # type: ignore[arg-type]
+                "output_bytes": float(event.attr("output_bytes", 0.0)),  # type: ignore[arg-type]
+                "cpu_seconds": float(event.attr("cpu_seconds", 0.0)),  # type: ignore[arg-type]
+                "provenance_id": event.attr("provenance_id"),
+            }
+        )
+    return rows
+
+
+def flow_summary_from_log(
+    events: Iterable[TelemetryEvent],
+) -> List[Dict[str, object]]:
+    """Regenerate ``FlowReport.summary_rows()`` from a log alone."""
+    return [
+        {
+            "stage": row["name"],
+            "site": row["site"],
+            "in": str(DataSize(row["input_bytes"])),  # type: ignore[arg-type]
+            "out": str(DataSize(row["output_bytes"])),  # type: ignore[arg-type]
+            "cpu": str(Duration(row["cpu_seconds"])),  # type: ignore[arg-type]
+        }
+        for row in stage_rows_from_log(events)
+    ]
+
+
+def peak_storage_from_log(events: Iterable[TelemetryEvent]) -> DataSize:
+    """The run's live-storage high-water mark, from ``flow.finish``."""
+    for event in events:
+        if event.kind == "flow.finish":
+            return DataSize(float(event.attr("peak_bytes", 0.0)))  # type: ignore[arg-type]
+    raise TelemetryError("log holds no flow.finish event")
+
+
+def total_cpu_from_log(events: Iterable[TelemetryEvent]) -> Duration:
+    """Total simulated CPU across all stages of a logged run."""
+    return Duration(
+        sum(row["cpu_seconds"] for row in stage_rows_from_log(events))  # type: ignore[misc]
+    )

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Dict, Generic, Hashable, List, Mapping, Optional, Tuple, TypeVar
+from typing import Dict, Generic, Hashable, List, Mapping, Tuple, TypeVar
 
 from repro.core.errors import VersioningError
 

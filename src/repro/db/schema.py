@@ -11,7 +11,7 @@ makes in-place schema evolution a requirement, not a nicety.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.core.errors import DatabaseError
 from repro.db.connection import Database

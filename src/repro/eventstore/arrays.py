@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import json
 import struct
-from typing import Tuple
 
 import numpy as np
 

@@ -60,6 +60,7 @@ class HsmEventStore(EventStore):
 
     def _touch_file(self, row) -> None:
         """Serve the read through the HSM: cache hit or tape recall."""
+        super()._touch_file(row)
         if not self.hsm.library.holds(row["path"]):
             # Files that arrived by merge rather than inject are archived
             # lazily on first access (write-through on the migration path).

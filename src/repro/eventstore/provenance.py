@@ -12,7 +12,7 @@ cost model for the ASU-level alternative, so the trade-off can be measured
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.core.provenance import ProcessingStep, ProvenanceStamp
 from repro.eventstore.fileformat import EventFile

@@ -16,11 +16,13 @@ loaded, which is also the first word of all EventStore commands").
 from __future__ import annotations
 
 import json
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
 from repro.core.errors import EventStoreError
 from repro.core.provenance import ProvenanceStamp
+from repro.core.telemetry import MetricsRegistry, Telemetry, get_telemetry
 from repro.core.units import DataSize, Duration
 from repro.core.versioning import GradeHistory
 from repro.db.connection import Database, SqliteBackend
@@ -31,10 +33,29 @@ from repro.eventstore.fileformat import (
     open_event_file,
     write_event_file,
 )
-from repro.eventstore.model import DATA_KINDS, Event, Run, parse_run_key, run_key
+from repro.eventstore.model import DATA_KINDS, Event, Run, parse_run_key
 from repro.eventstore.schema import eventstore_schema
 
 SCALES = ("personal", "group", "collaboration")
+
+
+@dataclass
+class IngestStats:
+    """Write/read traffic counters for one store (a registry snapshot view)."""
+
+    files_injected: int = 0
+    events_injected: int = 0
+    bytes_injected: float = 0.0
+    files_opened: int = 0
+
+    @classmethod
+    def from_registry(cls, metrics: MetricsRegistry) -> "IngestStats":
+        return cls(
+            files_injected=int(metrics.value("eventstore.files_injected")),
+            events_injected=int(metrics.value("eventstore.events_injected")),
+            bytes_injected=metrics.value("eventstore.bytes_injected"),
+            files_opened=int(metrics.value("eventstore.files_opened")),
+        )
 
 
 class EventStore:
@@ -57,6 +78,7 @@ class EventStore:
         root: Union[str, Path],
         scale: str = "personal",
         name: Optional[str] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         if scale not in SCALES:
             raise EventStoreError(f"unknown scale {scale!r}; pick one of {SCALES}")
@@ -67,6 +89,13 @@ class EventStore:
         self.files_dir.mkdir(parents=True, exist_ok=True)
         self.db: Database = SqliteBackend(self.root / "eventstore.db")
         apply_schema(self.db, eventstore_schema())
+        self.metrics = MetricsRegistry()
+        self._telemetry = telemetry if telemetry is not None else get_telemetry()
+
+    @property
+    def ingest_stats(self) -> IngestStats:
+        """Write/read traffic counters, read from the metrics registry."""
+        return IngestStats.from_registry(self.metrics)
 
     def close(self) -> None:
         self.db.close()
@@ -136,6 +165,7 @@ class EventStore:
             run_number=run.number, version=version, data_kind=kind, created_at=created_at
         )
         count = write_event_file(path, header, events, stamp)
+        size_bytes = float(path.stat().st_size)
         self.db.insert(
             "files",
             path=str(path.relative_to(self.root)),
@@ -143,8 +173,21 @@ class EventStore:
             version=version,
             kind=kind,
             event_count=count,
-            size_bytes=float(path.stat().st_size),
+            size_bytes=size_bytes,
             digest=stamp.digest,
+        )
+        self.metrics.counter("eventstore.files_injected").inc()
+        self.metrics.counter("eventstore.events_injected").inc(count)
+        self.metrics.counter("eventstore.bytes_injected").inc(size_bytes)
+        self._telemetry.emit(
+            "storage.write",
+            filename,
+            store=self.name,
+            bytes=size_bytes,
+            events=count,
+            run=run.number,
+            version=version,
+            data_kind=kind,
         )
         return path
 
@@ -255,10 +298,11 @@ class EventStore:
     def _touch_file(self, row) -> None:
         """Hook called before a registered file is read.
 
-        The base store does nothing; the HSM-backed store uses it to charge
-        a disk-cache hit or a tape recall (see
+        The base store only counts the access; the HSM-backed store extends
+        it to charge a disk-cache hit or a tape recall (see
         :mod:`repro.eventstore.hsm_store`).
         """
+        self.metrics.counter("eventstore.files_opened").inc()
 
     def open_file(self, run_number: int, version: str, kind: str) -> EventFile:
         row = self._file_row(run_number, version, kind)

@@ -13,8 +13,8 @@ here: positional/parameter cross-matching between two catalogs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Sequence, Tuple
 
 from repro.grid.services import GridError
 

@@ -13,13 +13,11 @@ from __future__ import annotations
 import itertools
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
 from repro.core.errors import TransportError
 from repro.core.units import DataSize, Duration
-from repro.transport.network import NetworkLink
 from repro.transport.planner import TransportOption, TransportPlanner
-from repro.transport.sneakernet import ShipmentSpec
 
 _job_counter = itertools.count(1)
 

@@ -13,8 +13,8 @@ accounting so dissemination load can be studied.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.errors import ReproError
 

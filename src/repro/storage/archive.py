@@ -19,9 +19,10 @@ from typing import Dict, List, Optional
 
 from repro.core.errors import StorageError
 from repro.core.resources import CostLedger, PersonnelModel
+from repro.core.telemetry import MetricsRegistry, Telemetry, get_telemetry
 from repro.core.units import DataSize, Duration
 from repro.storage.catalog import FileCatalog
-from repro.storage.media import MediaType, Medium, StoredFile, checksum_for
+from repro.storage.media import MediaType, Medium, StoredFile
 
 # Handling labor per medium moved during a migration: locate, mount, copy
 # supervision, verify, relabel.  Calibrated to "significant manpower".
@@ -67,6 +68,7 @@ class LongTermArchive:
         copies: int = 1,
         personnel: Optional[PersonnelModel] = None,
         rng: Optional[random.Random] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         if copies < 1:
             raise StorageError("archive needs at least one copy per file")
@@ -77,6 +79,8 @@ class LongTermArchive:
         self.rng = rng if rng is not None else random.Random(0)
         self.catalog = FileCatalog()
         self.ledger = CostLedger()
+        self.metrics = MetricsRegistry()
+        self._telemetry = telemetry if telemetry is not None else get_telemetry()
         # One media set per copy index, so copies of a file never share a medium.
         self._media_sets: List[List[Medium]] = [[] for _ in range(copies)]
         self._content_tags: Dict[str, str] = {}
@@ -135,6 +139,18 @@ class LongTermArchive:
                 medium_id=medium.medium_id,
                 checksum=entry.checksum,
             )
+        self.metrics.counter("archive.files_ingested").inc()
+        self.metrics.counter("archive.bytes_ingested").inc(size.bytes)
+        self.metrics.counter("archive.copies_written").inc(self.copies)
+        self._telemetry.emit(
+            "storage.write",
+            name,
+            store=self.name,
+            bytes=size.bytes,
+            copies=self.copies,
+            elapsed_s=elapsed.seconds,
+            medium=self.media_type.name,
+        )
         return elapsed
 
     # -- integrity ---------------------------------------------------------
@@ -152,7 +168,7 @@ class LongTermArchive:
 
     def readable(self, name: str) -> bool:
         """True if at least one intact copy survives."""
-        entry = self.catalog.entry(name)
+        self.catalog.entry(name)  # raises StorageError for unknown names
         for media_set in self._media_sets:
             for medium in media_set:
                 if medium.failed or not medium.holds(name):

@@ -9,7 +9,7 @@ and what its checksum should be.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.core.errors import IntegrityError, StorageError
 from repro.core.units import DataSize

@@ -11,14 +11,27 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.core.errors import CapacityError, StorageError
+from repro.core.telemetry import MetricsRegistry, Telemetry, get_telemetry
 from repro.core.units import DataSize, Duration
 from repro.storage.media import MediaType, Medium, StoredFile, checksum_for
 
 
 class DiskPool:
-    """A named pool of disk media with first-fit file placement."""
+    """A named pool of disk media with first-fit file placement.
 
-    def __init__(self, name: str, media_type: MediaType, count: int = 1):
+    Throughput accounting lives in a per-pool metrics registry; the
+    ``total_write_time`` / ``total_read_time`` properties are adapters
+    over it, and writes/deletes publish ``storage.write``/``storage.evict``
+    events on the telemetry bus.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        media_type: MediaType,
+        count: int = 1,
+        telemetry: Optional[Telemetry] = None,
+    ):
         if count <= 0:
             raise StorageError("DiskPool needs at least one medium")
         self.name = name
@@ -27,8 +40,16 @@ class DiskPool:
             Medium(media_type=media_type, label=f"{name}-{index}") for index in range(count)
         ]
         self._locations: Dict[str, Medium] = {}
-        self.total_write_time = Duration.zero()
-        self.total_read_time = Duration.zero()
+        self.metrics = MetricsRegistry()
+        self._telemetry = telemetry if telemetry is not None else get_telemetry()
+
+    @property
+    def total_write_time(self) -> Duration:
+        return Duration(self.metrics.value("disk.write_seconds"))
+
+    @property
+    def total_read_time(self) -> Duration:
+        return Duration(self.metrics.value("disk.read_seconds"))
 
     # -- capacity ------------------------------------------------------------
     @property
@@ -69,8 +90,19 @@ class DiskPool:
         for medium in self._media:
             if medium.failed or file.size.bytes > medium.free.bytes:
                 continue
-            self.total_write_time += medium.store(file)
+            elapsed = medium.store(file)
+            self.metrics.gauge("disk.write_seconds").add(elapsed.seconds)
+            self.metrics.counter("disk.writes").inc()
+            self.metrics.counter("disk.bytes_written").inc(size.bytes)
             self._locations[name] = medium
+            self._telemetry.emit(
+                "storage.write",
+                name,
+                store=self.name,
+                bytes=size.bytes,
+                elapsed_s=elapsed.seconds,
+                medium="disk",
+            )
             return file
         raise CapacityError(
             f"pool {self.name!r}: no medium has {size} free (pool free: {self.free})"
@@ -79,13 +111,20 @@ class DiskPool:
     def read(self, name: str) -> StoredFile:
         medium = self._require(name)
         file = medium.fetch(name)
-        self.total_read_time += medium.media_type.read_time(file.size)
+        elapsed = medium.media_type.read_time(file.size)
+        self.metrics.gauge("disk.read_seconds").add(elapsed.seconds)
+        self.metrics.counter("disk.reads").inc()
+        self.metrics.counter("disk.bytes_read").inc(file.size.bytes)
         return file
 
     def delete(self, name: str) -> StoredFile:
         medium = self._require(name)
         file = medium.remove(name)
         del self._locations[name]
+        self.metrics.counter("disk.deletes").inc()
+        self._telemetry.emit(
+            "storage.evict", name, store=self.name, bytes=file.size.bytes, medium="disk"
+        )
         return file
 
     def holds(self, name: str) -> bool:

@@ -5,15 +5,22 @@ CLEO's data "are stored in a hierarchical storage management (HSM) system
 a fixed-size disk cache in front of a robotic tape library, write-through
 archival, LRU eviction, and recall accounting — enough to quantify the cost
 of cold reads versus the hot/warm/cold partitioning studied in experiment C7.
+
+Accounting is registry-backed: every store owns a
+:class:`~repro.core.telemetry.MetricsRegistry` and publishes
+``storage.write/recall/evict`` events on the telemetry bus; the public
+:attr:`HierarchicalStore.stats` property is a thin :class:`HsmStats`
+snapshot over those instruments.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from repro.core.errors import CapacityError, StorageError
+from repro.core.telemetry import MetricsRegistry, Telemetry, get_telemetry
 from repro.core.units import DataSize, Duration
 from repro.storage.media import StoredFile
 from repro.storage.tape import RoboticTapeLibrary
@@ -21,7 +28,7 @@ from repro.storage.tape import RoboticTapeLibrary
 
 @dataclass
 class HsmStats:
-    """Cache behaviour counters."""
+    """Cache behaviour counters (a snapshot view over the metrics registry)."""
 
     hits: int = 0
     misses: int = 0
@@ -33,6 +40,34 @@ class HsmStats:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    @classmethod
+    def from_registry(cls, metrics: MetricsRegistry) -> "HsmStats":
+        """Snapshot the ``hsm.*`` instruments of one store's registry."""
+        return cls(
+            hits=int(metrics.value("hsm.hits")),
+            misses=int(metrics.value("hsm.misses")),
+            evictions=int(metrics.value("hsm.evictions")),
+            bytes_recalled=metrics.value("hsm.bytes_recalled"),
+            recall_time=Duration(metrics.value("hsm.recall_seconds")),
+        )
+
+    @classmethod
+    def merge(cls, stats: Iterable["HsmStats"]) -> "HsmStats":
+        """Aggregate cache stats across multiple :class:`HierarchicalStore`\\ s.
+
+        Counters and recalled volume add; ``hit_rate`` recomputes from the
+        merged hit/miss totals (it is *not* the mean of per-store rates —
+        a busy store weighs more than an idle one).
+        """
+        merged = cls()
+        for item in stats:
+            merged.hits += item.hits
+            merged.misses += item.misses
+            merged.evictions += item.evictions
+            merged.bytes_recalled += item.bytes_recalled
+            merged.recall_time += item.recall_time
+        return merged
 
 
 class HierarchicalStore:
@@ -47,13 +82,20 @@ class HierarchicalStore:
         self,
         library: RoboticTapeLibrary,
         cache_capacity: DataSize,
+        telemetry: Optional[Telemetry] = None,
     ):
         if cache_capacity.bytes <= 0:
             raise StorageError("HSM cache capacity must be positive")
         self.library = library
         self.cache_capacity = cache_capacity
         self._cache: "OrderedDict[str, DataSize]" = OrderedDict()
-        self.stats = HsmStats()
+        self.metrics = MetricsRegistry()
+        self._telemetry = telemetry if telemetry is not None else get_telemetry()
+
+    @property
+    def stats(self) -> HsmStats:
+        """Cache behaviour counters, read from the metrics registry."""
+        return HsmStats.from_registry(self.metrics)
 
     # -- cache bookkeeping ---------------------------------------------------
     @property
@@ -72,9 +114,14 @@ class HierarchicalStore:
                 f"file of {size} exceeds entire HSM cache ({self.cache_capacity})"
             )
         while self.cached_bytes.bytes + size.bytes > self.cache_capacity.bytes:
-            evicted_name, _ = self._cache.popitem(last=False)
-            self.stats.evictions += 1
-            del evicted_name
+            evicted_name, evicted_size = self._cache.popitem(last=False)
+            self.metrics.counter("hsm.evictions").inc()
+            self._telemetry.emit(
+                "storage.evict",
+                evicted_name,
+                store=self.library.name,
+                bytes=evicted_size.bytes,
+            )
 
     def _touch(self, name: str) -> None:
         self._cache.move_to_end(name)
@@ -85,22 +132,38 @@ class HierarchicalStore:
         elapsed = self.library.archive(name, size, content_tag)
         self._make_room(size)
         self._cache[name] = size
+        self.metrics.counter("hsm.writes").inc()
+        self.metrics.counter("hsm.bytes_written").inc(size.bytes)
+        self._telemetry.emit(
+            "storage.write",
+            name,
+            store=self.library.name,
+            bytes=size.bytes,
+            elapsed_s=elapsed.seconds,
+        )
         return elapsed
 
     def read(self, name: str) -> Tuple[StoredFile, Duration]:
         """Read a file, recalling from tape on a cache miss."""
         if name in self._cache:
-            self.stats.hits += 1
+            self.metrics.counter("hsm.hits").inc()
             self._touch(name)
             # Cache reads are disk-speed; negligible next to tape recall in
             # this model, but we still need the file object, which lives on
             # tape (the cache stores no content in the simulation).
             file, _ = self._peek_tape(name)
             return file, Duration.zero()
-        self.stats.misses += 1
+        self.metrics.counter("hsm.misses").inc()
         file, elapsed = self.library.recall(name)
-        self.stats.bytes_recalled += file.size.bytes
-        self.stats.recall_time += elapsed
+        self.metrics.counter("hsm.bytes_recalled").inc(file.size.bytes)
+        self.metrics.gauge("hsm.recall_seconds").add(elapsed.seconds)
+        self._telemetry.emit(
+            "storage.recall",
+            name,
+            store=self.library.name,
+            bytes=file.size.bytes,
+            elapsed_s=elapsed.seconds,
+        )
         self._make_room(file.size)
         self._cache[name] = file.size
         return file, elapsed
@@ -119,9 +182,16 @@ class HierarchicalStore:
             return Duration.zero()
         files, elapsed = self.library.recall_batch(to_recall)
         for file in files:
-            self.stats.misses += 1
-            self.stats.bytes_recalled += file.size.bytes
+            self.metrics.counter("hsm.misses").inc()
+            self.metrics.counter("hsm.bytes_recalled").inc(file.size.bytes)
+            self._telemetry.emit(
+                "storage.recall",
+                file.name,
+                store=self.library.name,
+                bytes=file.size.bytes,
+                batched=True,
+            )
             self._make_room(file.size)
             self._cache[file.name] = file.size
-        self.stats.recall_time += elapsed
+        self.metrics.gauge("hsm.recall_seconds").add(elapsed.seconds)
         return elapsed

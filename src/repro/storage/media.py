@@ -14,7 +14,7 @@ from __future__ import annotations
 import hashlib
 import itertools
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 from repro.core.errors import CapacityError, StorageError
 from repro.core.units import DataSize, Duration, Rate

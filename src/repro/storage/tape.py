@@ -14,13 +14,14 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.core.errors import StorageError
+from repro.core.telemetry import MetricsRegistry, Telemetry, get_telemetry
 from repro.core.units import DataSize, Duration
 from repro.storage.media import LTO3_TAPE, MediaType, Medium, StoredFile, checksum_for
 
 
 @dataclass
 class TapeStats:
-    """Operation counters for a library."""
+    """Operation counters for a library (a registry snapshot view)."""
 
     writes: int = 0
     reads: int = 0
@@ -28,6 +29,17 @@ class TapeStats:
     bytes_written: float = 0.0
     bytes_read: float = 0.0
     busy_time: Duration = Duration.zero()
+
+    @classmethod
+    def from_registry(cls, metrics: MetricsRegistry) -> "TapeStats":
+        return cls(
+            writes=int(metrics.value("tape.writes")),
+            reads=int(metrics.value("tape.reads")),
+            mounts=int(metrics.value("tape.mounts")),
+            bytes_written=metrics.value("tape.bytes_written"),
+            bytes_read=metrics.value("tape.bytes_read"),
+            busy_time=Duration(metrics.value("tape.busy_seconds")),
+        )
 
 
 class RoboticTapeLibrary:
@@ -40,7 +52,13 @@ class RoboticTapeLibrary:
     mount latency, which is why the Arecibo pipeline batches its recalls.
     """
 
-    def __init__(self, name: str, media_type: MediaType = LTO3_TAPE, drives: int = 2):
+    def __init__(
+        self,
+        name: str,
+        media_type: MediaType = LTO3_TAPE,
+        drives: int = 2,
+        telemetry: Optional[Telemetry] = None,
+    ):
         if drives <= 0:
             raise StorageError("library needs at least one drive")
         self.name = name
@@ -50,7 +68,13 @@ class RoboticTapeLibrary:
         self._locations: Dict[str, Medium] = {}
         self._mounted: Optional[Medium] = None
         self._fill: Optional[Medium] = None
-        self.stats = TapeStats()
+        self.metrics = MetricsRegistry()
+        self._telemetry = telemetry if telemetry is not None else get_telemetry()
+
+    @property
+    def stats(self) -> TapeStats:
+        """Operation counters, read from the metrics registry."""
+        return TapeStats.from_registry(self.metrics)
 
     # -- inventory ---------------------------------------------------------
     @property
@@ -83,7 +107,7 @@ class RoboticTapeLibrary:
         if self._mounted is cartridge:
             return Duration.zero()
         self._mounted = cartridge
-        self.stats.mounts += 1
+        self.metrics.counter("tape.mounts").inc()
         return self.media_type.mount_latency
 
     # -- operations ----------------------------------------------------------
@@ -110,9 +134,17 @@ class RoboticTapeLibrary:
         self._fill.files.append(file)
         elapsed += size / self.media_type.write_rate
         self._locations[name] = self._fill
-        self.stats.writes += 1
-        self.stats.bytes_written += size.bytes
-        self.stats.busy_time += elapsed
+        self.metrics.counter("tape.writes").inc()
+        self.metrics.counter("tape.bytes_written").inc(size.bytes)
+        self.metrics.gauge("tape.busy_seconds").add(elapsed.seconds)
+        self._telemetry.emit(
+            "storage.write",
+            name,
+            store=self.name,
+            bytes=size.bytes,
+            elapsed_s=elapsed.seconds,
+            medium="tape",
+        )
         return elapsed
 
     def recall(self, name: str) -> tuple[StoredFile, Duration]:
@@ -125,9 +157,17 @@ class RoboticTapeLibrary:
         elapsed = self._mount(cartridge)
         file = cartridge.fetch(name)
         elapsed += file.size / self.media_type.read_rate
-        self.stats.reads += 1
-        self.stats.bytes_read += file.size.bytes
-        self.stats.busy_time += elapsed
+        self.metrics.counter("tape.reads").inc()
+        self.metrics.counter("tape.bytes_read").inc(file.size.bytes)
+        self.metrics.gauge("tape.busy_seconds").add(elapsed.seconds)
+        self._telemetry.emit(
+            "storage.recall",
+            name,
+            store=self.name,
+            bytes=file.size.bytes,
+            elapsed_s=elapsed.seconds,
+            medium="tape",
+        )
         return file, elapsed
 
     def recall_batch(self, names: List[str]) -> tuple[List[StoredFile], Duration]:

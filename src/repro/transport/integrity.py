@@ -11,11 +11,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.core.errors import IntegrityError
+from repro.core.telemetry import Telemetry
 from repro.core.units import DataSize
-from repro.storage.media import StoredFile, checksum_for
+from repro.storage.media import StoredFile
 
 
 @dataclass(frozen=True)
@@ -77,13 +78,20 @@ class DeliveryReport:
         return sorted(set(self.corrupt) | set(self.missing))
 
 
-def verify_delivery(manifest: Manifest, received: Sequence[StoredFile]) -> DeliveryReport:
+def verify_delivery(
+    manifest: Manifest,
+    received: Sequence[StoredFile],
+    telemetry: Optional[Telemetry] = None,
+) -> DeliveryReport:
     """Compare received files against the manifest.
 
     A file is *corrupt* when present but its checksum disagrees with the
     manifest (or its own content no longer matches its recorded checksum),
     *missing* when listed but absent, and *unexpected* when delivered but
-    never listed.
+    never listed.  When ``telemetry`` is given, the verification outcome is
+    published as an ``integrity.verify`` event (carriers like
+    :class:`~repro.transport.sneakernet.ShippingLane` aggregate the tallies
+    into their registries from the returned report).
     """
     report = DeliveryReport(shipment_id=manifest.shipment_id)
     by_name: Dict[str, StoredFile] = {}
@@ -106,6 +114,16 @@ def verify_delivery(manifest: Manifest, received: Sequence[StoredFile]) -> Deliv
             report.unexpected.append(name)
     for bucket in (report.delivered, report.corrupt, report.missing, report.unexpected):
         bucket.sort()
+    if telemetry is not None:
+        telemetry.emit(
+            "integrity.verify",
+            manifest.shipment_id,
+            delivered=len(report.delivered),
+            corrupt=len(report.corrupt),
+            missing=len(report.missing),
+            unexpected=len(report.unexpected),
+            clean=report.clean,
+        )
     return report
 
 

@@ -10,11 +10,11 @@ in which case concurrent transfers split capacity processor-sharing style.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.errors import TransportError
+from repro.core.telemetry import Telemetry
 from repro.core.units import DataSize, Duration, Rate
 
 
@@ -137,7 +137,9 @@ class TransferResult:
 
 
 def simulate_shared_transfers(
-    link: NetworkLink, requests: Sequence[TransferRequest]
+    link: NetworkLink,
+    requests: Sequence[TransferRequest],
+    telemetry: Optional[Telemetry] = None,
 ) -> List[TransferResult]:
     """Processor-sharing simulation of concurrent transfers on one link.
 
@@ -145,6 +147,11 @@ def simulate_shared_transfers(
     makes the Arecibo uplink argument quantitative: it is not just slow, it
     is *shared* with observatory operations, so bulk raw-data transfers
     degrade everything else and stretch unboundedly.
+
+    When ``telemetry`` is given, each transfer publishes paired
+    ``transfer.start``/``transfer.finish`` events once the simulation
+    completes (ordered by request submission / completion, with the
+    simulated start/finish offsets carried as attributes).
     """
     if not requests:
         return []
@@ -189,4 +196,25 @@ def simulate_shared_transfers(
         now = horizon
 
     results.sort(key=lambda result: result.finish.seconds)
+    if telemetry is not None:
+        sizes = {request.name: request.size.bytes for request in requests}
+        for request in arrivals:
+            telemetry.emit(
+                "transfer.start",
+                request.name,
+                link=link.name,
+                bytes=request.size.bytes,
+                start_s=request.start.seconds,
+                mode="network",
+            )
+        for result in results:
+            telemetry.emit(
+                "transfer.finish",
+                result.name,
+                link=link.name,
+                bytes=sizes[result.name],
+                finish_s=result.finish.seconds,
+                elapsed_s=result.elapsed.seconds,
+                mode="network",
+            )
     return results

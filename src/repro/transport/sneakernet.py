@@ -14,10 +14,11 @@ import itertools
 import math
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.core.errors import TransportError
 from repro.core.resources import CostLedger, PersonnelModel
+from repro.core.telemetry import MetricsRegistry, Telemetry, get_telemetry
 from repro.core.units import DataSize, Duration, Rate
 from repro.storage.media import ATA_DISK_2005, MediaType, StoredFile, checksum_for
 from repro.transport.integrity import (
@@ -115,19 +116,62 @@ class ShipmentResult:
     cost: float
 
 
+@dataclass
+class LaneStats:
+    """Lifetime operation counters for one lane (a registry snapshot view)."""
+
+    shipments: int = 0
+    attempts: int = 0
+    media_shipped: int = 0
+    media_retransmitted: int = 0
+    bytes_shipped: float = 0.0
+    files_delivered: int = 0
+    files_corrupt: int = 0
+    files_missing: int = 0
+    personnel_time: Duration = field(default_factory=Duration.zero)
+
+    @classmethod
+    def from_registry(cls, metrics: MetricsRegistry) -> "LaneStats":
+        return cls(
+            shipments=int(metrics.value("lane.shipments")),
+            attempts=int(metrics.value("lane.attempts")),
+            media_shipped=int(metrics.value("lane.media_shipped")),
+            media_retransmitted=int(metrics.value("lane.media_retransmitted")),
+            bytes_shipped=metrics.value("lane.bytes_shipped"),
+            files_delivered=int(metrics.value("lane.files_delivered")),
+            files_corrupt=int(metrics.value("lane.files_corrupt")),
+            files_missing=int(metrics.value("lane.files_missing")),
+            personnel_time=Duration(metrics.value("lane.personnel_seconds")),
+        )
+
+
 class ShippingLane:
-    """A recurring physical-transport operation between two sites."""
+    """A recurring physical-transport operation between two sites.
+
+    Lifetime accounting is registry-backed: each lane owns a
+    :class:`~repro.core.telemetry.MetricsRegistry` and publishes
+    ``transfer.start``/``transfer.finish`` events per shipment; the
+    :attr:`stats` property is a :class:`LaneStats` snapshot over it.
+    """
 
     def __init__(
         self,
         spec: ShipmentSpec,
         personnel: Optional[PersonnelModel] = None,
         rng: Optional[random.Random] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.spec = spec
         self.personnel = personnel if personnel is not None else PersonnelModel()
         self.rng = rng if rng is not None else random.Random(0)
         self.ledger = CostLedger()
+        self.metrics = MetricsRegistry()
+        self._telemetry = telemetry if telemetry is not None else get_telemetry()
+
+    @property
+    def stats(self) -> LaneStats:
+        """Lifetime shipment counters, read from the metrics registry."""
+        return LaneStats.from_registry(self.metrics)
 
     def _files_for(self, shipment_id: str, volume: DataSize) -> List[StoredFile]:
         """Split a volume across media-sized files for manifest purposes."""
@@ -149,6 +193,14 @@ class ShippingLane:
         outgoing = self._files_for(shipment_id, volume)
         manifest = Manifest.for_files(shipment_id, outgoing)
         media_count = len(outgoing)
+        self._telemetry.emit(
+            "transfer.start",
+            shipment_id,
+            lane=self.spec.name,
+            bytes=volume.bytes,
+            media=media_count,
+            mode="sneakernet",
+        )
 
         elapsed = Duration.zero()
         personnel_time = Duration.zero()
@@ -165,7 +217,12 @@ class ShippingLane:
                     f"shipment {shipment_id}: {len(pending)} media still bad "
                     f"after {max_attempts} attempts"
                 )
+            self.metrics.counter("lane.attempts").inc()
+            self.metrics.counter("lane.media_shipped").inc(len(pending))
+            if attempts > 1:
+                self.metrics.counter("lane.media_retransmitted").inc(len(pending))
             batch_volume = DataSize(sum(file.size.bytes for file in pending))
+            self.metrics.counter("lane.bytes_shipped").inc(batch_volume.bytes)
             handling = self.spec.handling_time(len(pending))
             elapsed += (
                 self.spec.copy_time(batch_volume)
@@ -182,9 +239,25 @@ class ShippingLane:
             )
             good_names = {f.name for f in received}
             received.extend(f for f in arrived if f.verify() and f.name not in good_names)
-            report = verify_delivery(manifest, received)
+            report = verify_delivery(manifest, received, telemetry=self._telemetry)
+            self.metrics.counter("lane.files_corrupt").inc(len(report.corrupt))
+            self.metrics.counter("lane.files_missing").inc(len(report.missing))
             pending = [file for file in outgoing if file.name in report.needs_retransmission()]
 
+        self.metrics.counter("lane.shipments").inc()
+        self.metrics.counter("lane.files_delivered").inc(len(report.delivered))
+        self.metrics.gauge("lane.personnel_seconds").add(personnel_time.seconds)
+        self._telemetry.emit(
+            "transfer.finish",
+            shipment_id,
+            lane=self.spec.name,
+            bytes=volume.bytes,
+            media=media_count,
+            attempts=attempts,
+            elapsed_s=elapsed.seconds,
+            clean=report.clean,
+            mode="sneakernet",
+        )
         personnel_cost = self.personnel.cost(personnel_time)
         cost += personnel_cost
         cost += self.spec.media_type.unit_cost * media_count  # media pool amortization

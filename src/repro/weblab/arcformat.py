@@ -16,7 +16,7 @@ from __future__ import annotations
 import gzip
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator, List, Sequence, Union
+from typing import Iterator, List, Sequence, Union
 
 from repro.core.errors import WebLabError
 from repro.core.units import DataSize

@@ -71,7 +71,6 @@ def detect_bursts(
     transition_cost = gamma * math.log(len(counts) + 1)
 
     # Viterbi over states {0: base, 1: burst}.
-    neg_inf = float("-inf")
     score = [0.0, -transition_cost]
     backpointer: List[Tuple[int, int]] = []
     for k, n in zip(counts, totals):

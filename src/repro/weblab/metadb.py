@@ -14,7 +14,7 @@ tunable batch size is one of the preload parameters the paper says needs
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.errors import WebLabError
 from repro.core.units import DataSize

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import hashlib
 from pathlib import Path
-from typing import List, Union
+from typing import Union
 
 from repro.core.errors import WebLabError
 from repro.core.units import DataSize

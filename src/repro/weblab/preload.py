@@ -19,11 +19,12 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.errors import WebLabError
+from repro.core.telemetry import MetricsRegistry
 from repro.core.units import DataSize, Duration, Rate
 from repro.weblab.arcformat import read_arc
 from repro.weblab.datformat import read_dat
@@ -54,6 +55,31 @@ class PreloadStats:
         """Content volume one day of this throughput would preload."""
         return self.throughput * Duration.days(1)
 
+    @classmethod
+    def from_registry(cls, metrics: MetricsRegistry) -> "PreloadStats":
+        """Snapshot the lifetime ``preload.*`` instruments of a subsystem."""
+        return cls(
+            arc_files=int(metrics.value("preload.arc_files")),
+            dat_files=int(metrics.value("preload.dat_files")),
+            pages=int(metrics.value("preload.pages")),
+            links=int(metrics.value("preload.links")),
+            compressed_bytes=metrics.value("preload.compressed_bytes"),
+            content_bytes=metrics.value("preload.content_bytes"),
+            elapsed_s=metrics.value("preload.elapsed_s"),
+        )
+
+    def __sub__(self, other: "PreloadStats") -> "PreloadStats":
+        """Difference of two snapshots (the per-run view of a busy registry)."""
+        return PreloadStats(
+            arc_files=self.arc_files - other.arc_files,
+            dat_files=self.dat_files - other.dat_files,
+            pages=self.pages - other.pages,
+            links=self.links - other.links,
+            compressed_bytes=self.compressed_bytes - other.compressed_bytes,
+            content_bytes=self.content_bytes - other.content_bytes,
+            elapsed_s=self.elapsed_s - other.elapsed_s,
+        )
+
 
 @dataclass(frozen=True)
 class PreloadConfig:
@@ -83,6 +109,12 @@ class PreloadSubsystem:
         self.config = config if config is not None else PreloadConfig()
         # The relational load is serialized; parsers run in parallel.
         self._load_lock = threading.Lock()
+        self.metrics = MetricsRegistry()
+
+    @property
+    def lifetime_stats(self) -> PreloadStats:
+        """Accumulated totals across every run, read from the registry."""
+        return PreloadStats.from_registry(self.metrics)
 
     # -- single-file paths -----------------------------------------------------
     def process_arc(self, path: Union[str, Path], crawl_index: int) -> Tuple[int, float]:
@@ -122,6 +154,12 @@ class PreloadSubsystem:
             if len(batch) >= self.config.batch_size:
                 flush()
         flush()
+        self.metrics.counter("preload.arc_files").inc()
+        self.metrics.counter("preload.pages").inc(pages)
+        self.metrics.counter("preload.content_bytes").inc(content_bytes)
+        self.metrics.counter("preload.compressed_bytes").inc(
+            float(Path(path).stat().st_size)
+        )
         return pages, content_bytes
 
     def process_dat(self, path: Union[str, Path], crawl_index: int) -> int:
@@ -143,6 +181,11 @@ class PreloadSubsystem:
                 if len(batch) >= self.config.batch_size:
                     flush()
         flush()
+        self.metrics.counter("preload.dat_files").inc()
+        self.metrics.counter("preload.links").inc(links)
+        self.metrics.counter("preload.compressed_bytes").inc(
+            float(Path(path).stat().st_size)
+        )
         return links
 
     # -- bulk run ---------------------------------------------------------------
@@ -151,8 +194,12 @@ class PreloadSubsystem:
         arc_paths: Sequence[Tuple[Union[str, Path], int]],
         dat_paths: Sequence[Tuple[Union[str, Path], int]] = (),
     ) -> PreloadStats:
-        """Preload a mixed set of (path, crawl_index) pairs in parallel."""
-        stats = PreloadStats()
+        """Preload a mixed set of (path, crawl_index) pairs in parallel.
+
+        Returns the stats of *this* run — the delta of the subsystem's
+        lifetime registry across the run (see :attr:`lifetime_stats` for
+        the running totals).
+        """
         crawl_indexes = {index for _, index in list(arc_paths) + list(dat_paths)}
         for index in sorted(crawl_indexes):
             # Registration is idempotent for matching times; preload callers
@@ -161,6 +208,7 @@ class PreloadSubsystem:
                 self.database.register_crawl(index, float(index))
             except WebLabError:
                 pass
+        before = self.lifetime_stats
         start = time.perf_counter()
         with ThreadPoolExecutor(max_workers=self.config.workers) as pool:
             arc_futures = [
@@ -170,18 +218,11 @@ class PreloadSubsystem:
                 pool.submit(self.process_dat, path, index) for path, index in dat_paths
             ]
             for future in arc_futures:
-                pages, content_bytes = future.result()
-                stats.pages += pages
-                stats.content_bytes += content_bytes
+                future.result()
             for future in dat_futures:
-                stats.links += future.result()
-        stats.elapsed_s = time.perf_counter() - start
-        stats.arc_files = len(arc_paths)
-        stats.dat_files = len(dat_paths)
-        stats.compressed_bytes = float(
-            sum(Path(path).stat().st_size for path, _ in list(arc_paths) + list(dat_paths))
-        )
-        return stats
+                future.result()
+        self.metrics.counter("preload.elapsed_s").inc(time.perf_counter() - start)
+        return self.lifetime_stats - before
 
 
 def _epoch_of(archive_date: str) -> float:

@@ -9,7 +9,7 @@ and rewrite outlinks so navigation stays inside the chosen time slice.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.core.errors import WebLabError
 from repro.weblab.metadb import WebLabDatabase

@@ -14,11 +14,12 @@ store.  :class:`WebLabServices` is the facade researchers then call.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.errors import WebLabError
+from repro.core.telemetry import MetricsRegistry, Telemetry, get_telemetry
 from repro.core.units import DataSize, Duration
 from repro.transport.network import INTERNET2_100, NetworkLink
 from repro.weblab.arcformat import pack_crawl
@@ -36,7 +37,7 @@ from repro.weblab.subsets import (
     stratified_sample,
 )
 from repro.weblab.synthweb import CrawlSnapshot, SyntheticWeb, SyntheticWebConfig
-from repro.weblab.textindex import SearchHit, TextIndex, build_index
+from repro.weblab.textindex import TextIndex, build_index
 from repro.weblab.webgraph import GraphStats, compute_stats, load_web_graph
 
 
@@ -57,12 +58,12 @@ class WebLabBuildReport:
 class WebLab:
     """One WebLab installation: database + page store + services."""
 
-    def __init__(self, root: Union[str, Path]):
+    def __init__(self, root: Union[str, Path], telemetry: Optional[Telemetry] = None):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.database = WebLabDatabase(self.root / "weblab.db")
         self.pagestore = PageStore(self.root / "pages")
-        self.services = WebLabServices(self)
+        self.services = WebLabServices(self, telemetry=telemetry)
 
     def close(self) -> None:
         self.database.close()
@@ -75,28 +76,54 @@ class WebLab:
 
 
 class WebLabServices:
-    """The researcher-facing service facade."""
+    """The researcher-facing service facade.
 
-    def __init__(self, weblab: WebLab):
+    Every facade call is metered: a per-method ``service.calls.<method>``
+    counter in the facade's registry, plus a ``service.call`` event on the
+    telemetry bus — the Web-server access log of the simulated lab.
+    """
+
+    def __init__(self, weblab: WebLab, telemetry: Optional[Telemetry] = None):
         self._weblab = weblab
         self._retro = RetroBrowser(weblab.database, weblab.pagestore)
+        self.metrics = MetricsRegistry()
+        self._telemetry = telemetry if telemetry is not None else get_telemetry()
+
+    def _record(self, method: str, **attrs: object) -> None:
+        self.metrics.counter(f"service.calls.{method}").inc()
+        self._telemetry.emit("service.call", method, **attrs)
+
+    @property
+    def service_stats(self) -> Dict[str, int]:
+        """Per-method call counts, read from the metrics registry."""
+        prefix = "service.calls."
+        return {
+            name[len(prefix):]: int(self.metrics.value(name))
+            for name in self.metrics.names()
+            if name.startswith(prefix)
+        }
 
     # -- retro browsing ----------------------------------------------------
     def browse(self, url: str, as_of: float) -> RetroPage:
         """Browse the Web as it was at a certain date."""
+        self._record("browse", url=url, as_of=as_of)
         return self._retro.get(url, as_of)
 
     def navigate(self, url: str, as_of: float, link_index: int) -> RetroPage:
+        self._record("navigate", url=url, as_of=as_of, link_index=link_index)
         return self._retro.navigate(url, as_of, link_index)
 
     def capture_history(self, url: str) -> List[float]:
+        self._record("capture_history", url=url)
         return self._retro.history(url)
 
     # -- subsets ---------------------------------------------------------------
     def extract_subset(self, name: str, criteria: SubsetCriteria) -> int:
+        self._record("extract_subset", subset=name)
         return extract_subset(self._weblab.database, name, criteria)
 
     def subsets(self) -> List[str]:
+        self._record("subsets")
         return list_subsets(self._weblab.database)
 
     def stratified_sample(
@@ -106,24 +133,32 @@ class WebLabServices:
         criteria: Optional[SubsetCriteria] = None,
         seed: int = 0,
     ) -> Dict[str, List[str]]:
+        self._record(
+            "stratified_sample", stratum=stratum_column, per_stratum=per_stratum
+        )
         return stratified_sample(
             self._weblab.database, stratum_column, per_stratum, criteria, seed
         )
 
     # -- graph analysis ----------------------------------------------------
     def graph_stats(self, crawl_index: int) -> GraphStats:
+        self._record("graph_stats", crawl_index=crawl_index)
         graph = load_web_graph(self._weblab.database, crawl_index)
         return compute_stats(graph)
 
     def locality_comparison(
         self, crawl_index: int, n_workers: int, workload: str = "pagerank"
     ) -> LocalityComparison:
+        self._record(
+            "locality_comparison", crawl_index=crawl_index, workload=workload
+        )
         graph = load_web_graph(self._weblab.database, crawl_index)
         return compare_locality(graph, n_workers, workload=workload)
 
     # -- text --------------------------------------------------------------
     def build_text_index(self, crawl_index: int) -> TextIndex:
         """Full-text index over one crawl (a subset, per the paper)."""
+        self._record("build_text_index", crawl_index=crawl_index)
         rows = self._weblab.database.db.query(
             "SELECT url, content_hash FROM pages WHERE crawl_index = ?",
             (crawl_index,),
@@ -138,6 +173,7 @@ class WebLabServices:
         self, vocabulary: Sequence[str], scaling: float = 1.5, min_weight: float = 3.0
     ) -> Dict[str, List[BurstInterval]]:
         """Burst detection across all crawls' page text."""
+        self._record("detect_bursts", terms=len(vocabulary))
         slices: List[List[str]] = []
         for crawl_index in self._weblab.database.crawl_indexes():
             rows = self._weblab.database.db.query(
@@ -160,6 +196,7 @@ def build_weblab(
     preload_config: Optional[PreloadConfig] = None,
     link: NetworkLink = INTERNET2_100,
     workers: int = 1,
+    telemetry: Optional[Telemetry] = None,
 ) -> Tuple[WebLab, WebLabBuildReport, SyntheticWeb]:
     """Synthesize, pack, transfer, and preload a whole WebLab.
 
@@ -204,8 +241,24 @@ def build_weblab(
         float(sum(path.stat().st_size for path, _ in arc_jobs + dat_jobs))
     )
     transfer_time = link.transfer_time(compressed)
+    bus = telemetry if telemetry is not None else get_telemetry()
+    bus.emit(
+        "transfer.start",
+        "weblab-ingest",
+        link=link.name,
+        bytes=compressed.bytes,
+        mode="network",
+    )
+    bus.emit(
+        "transfer.finish",
+        "weblab-ingest",
+        link=link.name,
+        bytes=compressed.bytes,
+        elapsed_s=transfer_time.seconds,
+        mode="network",
+    )
 
-    weblab = WebLab(root / "weblab")
+    weblab = WebLab(root / "weblab", telemetry=telemetry)
     for crawl in crawls:
         weblab.database.register_crawl(crawl.crawl_index, crawl.crawl_time)
     if preload_config is None and workers > 1:

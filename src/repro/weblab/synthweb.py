@@ -11,8 +11,8 @@ window — giving the burst-detection experiment known ground truth.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.errors import WebLabError
 

@@ -1,6 +1,5 @@
 """Shared fixtures for Arecibo tests: small observations with known truth."""
 
-import numpy as np
 import pytest
 
 from repro.arecibo.sky import N_BEAMS, Pointing, Pulsar

@@ -1,12 +1,11 @@
 """Tests for RFI excision, the candidate database, and the Figure-1 pipeline."""
 
-import numpy as np
 import pytest
 
 from repro.arecibo.candidates import SiftedCandidate
 from repro.arecibo.dedisperse import dedisperse
 from repro.arecibo.folding import fold
-from repro.arecibo.fourier import FourierCandidate, search_spectrum
+from repro.arecibo.fourier import FourierCandidate
 from repro.arecibo.metaanalysis import CandidateDatabase
 from repro.arecibo.pipeline import AreciboPipelineConfig, run_arecibo_pipeline
 from repro.arecibo.rfi import (

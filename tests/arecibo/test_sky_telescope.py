@@ -9,14 +9,7 @@ from repro.arecibo.filterbank import (
     read_filterbank,
     write_filterbank,
 )
-from repro.arecibo.sky import (
-    N_BEAMS,
-    Pointing,
-    Pulsar,
-    RFISource,
-    SkyModel,
-    Transient,
-)
+from repro.arecibo.sky import N_BEAMS, Pointing, Pulsar, RFISource, SkyModel
 from repro.arecibo.telescope import ObservationConfig, ObservationSimulator
 from repro.core.errors import SearchError
 

@@ -91,7 +91,6 @@ class TestMonteCarlo:
     def test_mc_sized_to_run(self, small_world, tmp_path):
         detector = small_world["detector"]
         producer = MonteCarloProducer(detector, "Gen_03", events_per_data_event=0.5)
-        rng = np.random.default_rng(0)
         run, _, _ = detector.generate_run(7, 0.0, seed=3, events_scale=0.0005)
         events, truths, stamp = producer.generate_for_run(run, seed=1)
         assert len(events) == max(1, int(run.event_count * 0.5))

@@ -6,12 +6,16 @@ and the same provenance graph (record ids, parent chains, stamps) as the
 sequential engine — on synthetic DAGs and on both figure pipelines.
 """
 
+import threading
+import time
+
 import pytest
 
 from repro.core.dataflow import DataFlow
 from repro.core.dataset import Dataset
 from repro.core.engine import Engine, ParallelEngine
-from repro.core.errors import ExecutionError
+from repro.core.errors import ExecutionError, ProvenanceError
+from repro.core.provenance import ProvenanceStore
 from repro.core.units import DataSize, Duration
 
 
@@ -146,6 +150,119 @@ class TestParallelDeterminism:
             Engine(max_workers=3).run(flow)
 
 
+class TestParallelFailurePaths:
+    """A stage raising mid-pool must drain cleanly and corrupt nothing."""
+
+    def build_flow(self, executed, slow_finished):
+        """source -> (slow, boom) -> after; boom raises while slow runs."""
+
+        def track(name, fn):
+            def wrapped(inputs, ctx):
+                executed.append(name)
+                return fn(inputs, ctx)
+
+            return wrapped
+
+        def slow(inputs, ctx):
+            time.sleep(0.2)
+            slow_finished.set()
+            (only,) = inputs.values()
+            return only.derive("slow-out", DataSize.megabytes(2))
+
+        def boom(inputs, ctx):
+            raise ValueError("detector glitch")
+
+        def after(inputs, ctx):
+            first = next(iter(inputs.values()))
+            return first.derive("after-out", DataSize.megabytes(1))
+
+        flow = DataFlow("failing")
+        flow.stage("source", track("source", make_source(DataSize.megabytes(8))))
+        flow.stage("slow", track("slow", slow))
+        flow.stage("boom", track("boom", boom))
+        flow.stage("after", track("after", after))
+        flow.connect("source", "slow")
+        flow.connect("source", "boom")
+        flow.connect("slow", "after")
+        flow.connect("boom", "after")
+        return flow
+
+    def test_failure_surfaces_stage_name_and_drains_pool(self):
+        executed = []
+        slow_finished = threading.Event()
+        flow = self.build_flow(executed, slow_finished)
+        with pytest.raises(ExecutionError, match="boom") as excinfo:
+            Engine(max_workers=3).run(flow)
+        assert excinfo.value.stage == "boom"
+        # The in-flight sibling ran to completion before the engine raised
+        # (the pool is drained, not abandoned), and nothing downstream of
+        # the failure was ever submitted.
+        assert slow_finished.is_set()
+        assert executed.count("slow") == 1
+        assert "after" not in executed
+
+    def test_no_partial_provenance_after_failure(self):
+        executed = []
+        store = ProvenanceStore()
+        flow = self.build_flow(executed, threading.Event())
+        with pytest.raises(ExecutionError):
+            Engine(provenance=store, max_workers=3).run(flow)
+        # Completed stages keep their records (matching what a sequential
+        # run would have committed before hitting the failure) ...
+        assert len(store) == 2  # source + slow committed; boom and after did not
+        assert store.records_for("raw")
+        assert store.records_for("slow-out")
+        # ... and the failed stage and its successors left nothing behind:
+        # their reserved ids were never recorded.
+        assert store.records_for("after-out") == []
+        with pytest.raises(ProvenanceError):
+            store.latest_for("after-out")
+
+    def test_failure_has_no_telemetry_side_effects(self):
+        """A failed run emits no events: the log only ever holds complete,
+        replayable runs."""
+        executed = []
+        engine = Engine(max_workers=3)
+        with pytest.raises(ExecutionError):
+            engine.run(self.build_flow(executed, threading.Event()))
+        assert len(engine.telemetry) == 0
+
+    def test_earliest_topological_failure_wins(self):
+        """With several failing stages, the one a sequential run would hit
+        first is the one surfaced."""
+
+        def boom(message):
+            def fn(inputs, ctx):
+                raise ValueError(message)
+
+            return fn
+
+        flow = DataFlow("multi-fail")
+        flow.stage("source", make_source(DataSize.megabytes(1)))
+        flow.stage("alpha", boom("first"))
+        flow.stage("beta", boom("second"))
+        flow.connect("source", "alpha")
+        flow.connect("source", "beta")
+        order = flow.topological_order()
+        first_failing = next(n for n in order if n in ("alpha", "beta"))
+        with pytest.raises(ExecutionError) as excinfo:
+            Engine(max_workers=4).run(flow)
+        assert excinfo.value.stage == first_failing
+
+    def test_sequential_and_parallel_commit_same_prefix(self):
+        """Both engines leave the same provenance state behind a failure."""
+        outcomes = {}
+        for workers in (1, 3):
+            store = ProvenanceStore()
+            flow = self.build_flow([], threading.Event())
+            with pytest.raises(ExecutionError):
+                Engine(provenance=store, max_workers=workers).run(flow)
+            outcomes[workers] = sorted(
+                (len(store.records_for(a)), a) for a in ("raw", "slow-out", "after-out")
+            )
+        assert outcomes[1] == outcomes[3]
+
+
 class TestSeedInputAccounting:
     """Externally-fed datasets occupy storage until consumed (bugfix)."""
 
@@ -184,7 +301,6 @@ class TestSeedInputAccounting:
 
     def test_seed_release_precedes_downstream(self):
         """After the consumer completes, the seed no longer occupies disk."""
-        seen = {}
 
         def consume(inputs, ctx):
             return inputs["input"].derive("echo", DataSize.megabytes(1))

@@ -81,11 +81,10 @@ class TestSimulator:
 
     def test_pending_counts_only_live_events(self):
         sim = Simulator()
-        keep = sim.schedule(Duration.from_seconds(1), lambda: None)
+        sim.schedule(Duration.from_seconds(1), lambda: None)
         drop = sim.schedule(Duration.from_seconds(2), lambda: None)
         sim.cancel(drop)
         assert sim.pending() == 1
-        del keep
 
     def test_step_returns_false_when_empty(self):
         assert Simulator().step() is False

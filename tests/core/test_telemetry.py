@@ -1,0 +1,330 @@
+"""The telemetry substrate: bus, instruments, spans, and the JSONL log."""
+
+import threading
+
+import pytest
+
+from repro.core.dataflow import DataFlow
+from repro.core.dataset import Dataset
+from repro.core.engine import Engine
+from repro.core.errors import TelemetryError
+from repro.core.telemetry import (
+    EVENT_KINDS,
+    Counter,
+    MetricsRegistry,
+    SimClock,
+    Telemetry,
+    TelemetryEvent,
+    flow_summary_from_log,
+    get_telemetry,
+    peak_storage_from_log,
+    read_event_log,
+    set_telemetry,
+    stage_rows_from_log,
+    strip_wall_clock,
+    telemetry_session,
+    total_cpu_from_log,
+    write_event_log,
+)
+from repro.core.units import DataSize, Duration
+
+
+class TestEventBus:
+    def test_emit_assigns_monotonic_sequence(self):
+        bus = Telemetry()
+        first = bus.emit("storage.write", "a")
+        second = bus.emit("storage.recall", "b")
+        assert (first.seq, second.seq) == (0, 1)
+        assert len(bus) == 2
+
+    def test_unknown_kind_rejected(self):
+        bus = Telemetry()
+        with pytest.raises(TelemetryError, match="unknown event kind"):
+            bus.emit("storage.wrote", "a")
+
+    def test_attrs_are_coerced_and_sorted(self):
+        bus = Telemetry()
+        event = bus.emit(
+            "storage.write",
+            "file-1",
+            size=DataSize.gigabytes(2),
+            took=Duration(5.0),
+            tags=["a", "b"],
+        )
+        # Units become plain numbers, lists become tuples internally but
+        # thaw back to lists through the accessor.
+        assert event.attr("size") == DataSize.gigabytes(2).bytes
+        assert event.attr("took") == 5.0
+        assert event.attr("tags") == ["a", "b"]
+        assert event.attr("absent", "fallback") == "fallback"
+        assert [key for key, _ in event.attrs] == sorted(
+            key for key, _ in event.attrs
+        )
+
+    def test_events_filter_by_kind_and_start(self):
+        bus = Telemetry()
+        bus.emit("storage.write", "a")
+        bus.emit("storage.recall", "b")
+        bus.emit("storage.write", "c")
+        assert [e.name for e in bus.events(kind="storage.write")] == ["a", "c"]
+        assert [e.name for e in bus.events(start=1)] == ["b", "c"]
+
+    def test_subscribers_see_every_event(self):
+        bus = Telemetry()
+        seen = []
+        bus.subscribe(lambda event: seen.append(event.name))
+        bus.emit("storage.write", "x")
+        bus.emit("storage.evict", "y")
+        assert seen == ["x", "y"]
+
+    def test_canonical_strips_only_wall_clock(self):
+        bus = Telemetry()
+        event = bus.emit("transfer.start", "ship-1", bytes=10)
+        assert event.wall_time > 0
+        canonical = event.canonical()
+        assert "wall_time" not in canonical
+        assert canonical["kind"] == "transfer.start"
+        assert canonical["attrs"] == {"bytes": 10}
+
+    def test_dict_roundtrip(self):
+        bus = Telemetry()
+        original = bus.emit("provenance.record", "stage", parents=["p1", "p2"])
+        restored = TelemetryEvent.from_dict(original.to_dict())
+        assert restored == original
+
+    def test_malformed_record_raises(self):
+        with pytest.raises(TelemetryError, match="malformed"):
+            TelemetryEvent.from_dict({"kind": "stage.start"})
+
+    def test_event_kinds_cover_the_documented_vocabulary(self):
+        for kind in (
+            "stage.start",
+            "stage.finish",
+            "bytes.produced",
+            "storage.write",
+            "storage.recall",
+            "storage.evict",
+            "transfer.start",
+            "transfer.finish",
+            "provenance.record",
+        ):
+            assert kind in EVENT_KINDS
+
+
+class TestSimClock:
+    def test_advances_and_stamps_events(self):
+        bus = Telemetry()
+        bus.emit("flow.start", "f")
+        bus.clock.advance(12.5)
+        late = bus.emit("flow.finish", "f")
+        assert bus.clock.now == 12.5
+        assert late.sim_time == 12.5
+
+    def test_rejects_negative_advance(self):
+        with pytest.raises(TelemetryError):
+            SimClock().advance(-1.0)
+
+    def test_reset(self):
+        clock = SimClock()
+        clock.advance(3.0)
+        clock.reset()
+        assert clock.now == 0.0
+
+
+class TestInstruments:
+    def test_counter_is_monotonic(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("reads")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(TelemetryError):
+            counter.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = MetricsRegistry().gauge("busy")
+        gauge.set(10.0)
+        gauge.add(-4.0)
+        assert gauge.value == 6.0
+
+    def test_highwater_keeps_the_peak(self):
+        mark = MetricsRegistry().highwater("live_bytes")
+        mark.observe(5.0)
+        mark.observe(3.0)
+        assert mark.peak == 5.0
+
+    def test_registry_get_or_create_is_stable(self):
+        registry = MetricsRegistry()
+        assert registry.counter("n") is registry.counter("n")
+
+    def test_registry_rejects_type_conflicts(self):
+        registry = MetricsRegistry()
+        registry.counter("n")
+        with pytest.raises(TelemetryError, match="Counter"):
+            registry.gauge("n")
+
+    def test_value_and_as_dict(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(2)
+        registry.highwater("b").observe(9)
+        assert registry.value("a") == 2
+        assert registry.value("missing", default=-1.0) == -1.0
+        assert registry.as_dict() == {"a": 2.0, "b": 9.0}
+
+    def test_counter_is_thread_safe(self):
+        counter = MetricsRegistry().counter("hits")
+
+        def hammer():
+            for _ in range(1000):
+                counter.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000
+
+
+class TestSpans:
+    def test_nested_spans_stamp_the_path(self):
+        bus = Telemetry()
+        with bus.span("flow"):
+            with bus.span("stage"):
+                inner = bus.emit("bytes.produced", "x", bytes=1)
+        assert inner.span == ("flow", "stage")
+        kinds = [event.kind for event in bus.events()]
+        assert kinds == [
+            "span.start",
+            "span.start",
+            "bytes.produced",
+            "span.finish",
+            "span.finish",
+        ]
+
+    def test_span_finish_records_simulated_elapsed(self):
+        bus = Telemetry()
+        with bus.span("work"):
+            bus.clock.advance(42.0)
+        finish = bus.events(kind="span.finish")[0]
+        assert finish.attr("elapsed_s") == 42.0
+
+    def test_span_closes_on_error(self):
+        bus = Telemetry()
+        with pytest.raises(RuntimeError):
+            with bus.span("doomed"):
+                raise RuntimeError("nope")
+        assert [event.kind for event in bus.events()] == [
+            "span.start",
+            "span.finish",
+        ]
+        assert bus.emit("storage.write", "later").span == ()
+
+
+class TestProcessDefault:
+    def test_session_override_restores_previous(self):
+        outer = get_telemetry()
+        with telemetry_session() as session:
+            assert get_telemetry() is session
+            assert session is not outer
+        assert get_telemetry() is outer
+
+    def test_set_telemetry_returns_previous(self):
+        previous = set_telemetry(None)
+        try:
+            fresh = get_telemetry()
+            assert get_telemetry() is fresh
+        finally:
+            set_telemetry(previous)
+
+
+class TestJsonlPersistence:
+    def make_log(self):
+        bus = Telemetry()
+        with bus.span("flow"):
+            bus.emit("stage.start", "s", site="lab", input_bytes=10.0)
+            bus.clock.advance(2.0)
+            bus.emit(
+                "stage.finish",
+                "s",
+                site="lab",
+                input_bytes=10.0,
+                output_bytes=4.0,
+                cpu_seconds=2.0,
+                provenance_id="rec-1",
+                live_bytes=4.0,
+            )
+        return bus
+
+    def test_roundtrip_preserves_every_event(self, tmp_path):
+        bus = self.make_log()
+        path = tmp_path / "log.jsonl"
+        count = write_event_log(path, bus)
+        assert count == len(bus)
+        assert read_event_log(path) == bus.events()
+
+    def test_strip_wall_clock_makes_logs_comparable(self, tmp_path):
+        bus = self.make_log()
+        path = tmp_path / "log.jsonl"
+        write_event_log(path, bus.events())
+        assert strip_wall_clock(read_event_log(path)) == strip_wall_clock(
+            bus.events()
+        )
+
+    def test_read_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"seq": 0}\nnot json\n')
+        with pytest.raises(TelemetryError):
+            read_event_log(path)
+
+
+class TestLogViews:
+    def run_flow(self):
+        def source(inputs, ctx):
+            return Dataset("raw", DataSize.gigabytes(4))
+
+        def reduce(inputs, ctx):
+            (only,) = inputs.values()
+            return only.derive("small", DataSize.gigabytes(1))
+
+        flow = DataFlow("view-flow")
+        flow.stage("source", source, site="lab", cpu_seconds_per_gb=10)
+        flow.stage("reduce", reduce, site="center", cpu_seconds_per_gb=30)
+        flow.connect("source", "reduce")
+        return Engine(seed=1).run(flow)
+
+    def test_stage_rows_match_report(self):
+        report = self.run_flow()
+        rows = stage_rows_from_log(report.events)
+        assert [row["name"] for row in rows] == ["source", "reduce"]
+        assert rows[1]["input_bytes"] == DataSize.gigabytes(4).bytes
+        assert rows[1]["provenance_id"] == report.stage("reduce").provenance_id
+
+    def test_flow_summary_regenerates_summary_rows(self, tmp_path):
+        report = self.run_flow()
+        path = tmp_path / "run.jsonl"
+        write_event_log(path, report.events)
+        assert flow_summary_from_log(read_event_log(path)) == report.summary_rows()
+
+    def test_peak_and_cpu_views(self):
+        report = self.run_flow()
+        assert peak_storage_from_log(report.events).bytes == (
+            report.peak_live_storage.bytes
+        )
+        assert total_cpu_from_log(report.events).seconds == (
+            report.total_cpu_time.seconds
+        )
+
+    def test_peak_requires_flow_finish(self):
+        bus = Telemetry()
+        bus.emit("stage.start", "s")
+        with pytest.raises(TelemetryError):
+            peak_storage_from_log(bus.events())
+
+    def test_engine_registry_reflects_the_run(self):
+        report = self.run_flow()
+        metrics = report.telemetry.registry
+        assert metrics.value("engine.stages") == 2
+        assert metrics.value("engine.peak_live_bytes") == (
+            report.peak_live_storage.bytes
+        )

@@ -3,16 +3,7 @@
 import pytest
 
 from repro.core.errors import DatabaseError
-from repro.db import (
-    Schema,
-    Select,
-    SqliteBackend,
-    apply_schema,
-    applied_version,
-    column,
-    connect,
-    rows_to_dicts,
-)
+from repro.db import Schema, Select, apply_schema, applied_version, column, connect, rows_to_dicts
 
 
 @pytest.fixture()

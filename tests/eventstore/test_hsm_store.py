@@ -1,6 +1,5 @@
 """Tests for the HSM-backed EventStore."""
 
-import pytest
 
 from repro.core.units import DataSize
 from repro.eventstore.hsm_store import HsmEventStore

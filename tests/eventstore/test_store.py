@@ -11,7 +11,6 @@ from repro.eventstore.scales import (
     PersonalEventStore,
     open_store,
 )
-from repro.eventstore.store import EventStore
 
 from tests.eventstore.conftest import make_events, make_run
 

@@ -5,10 +5,10 @@ import random
 import pytest
 
 from repro.core.errors import IntegrityError, StorageError
-from repro.core.units import DataSize, Duration, Rate
+from repro.core.units import DataSize, Rate
 from repro.storage.archive import LongTermArchive
 from repro.storage.catalog import FileCatalog
-from repro.storage.media import MediaType, checksum_for
+from repro.storage.media import MediaType
 
 
 def media(capacity_gb=100, failure=0.0, cost=50.0):

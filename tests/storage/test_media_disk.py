@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.errors import CapacityError, StorageError
-from repro.core.units import DataSize, Duration, Rate
+from repro.core.units import DataSize, Rate
 from repro.storage.media import (
     ATA_DISK_2005,
     LTO3_TAPE,

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.errors import CapacityError, StorageError
 from repro.core.units import DataSize, Duration, Rate
-from repro.storage.hsm import HierarchicalStore
+from repro.storage.hsm import HierarchicalStore, HsmStats
 from repro.storage.media import MediaType
 from repro.storage.tape import RoboticTapeLibrary
 
@@ -166,3 +166,54 @@ class TestHierarchicalStore:
         library = RoboticTapeLibrary("ctc", tiny_tape())
         with pytest.raises(StorageError):
             HierarchicalStore(library, cache_capacity=DataSize.zero())
+
+
+class TestHsmStatsMerge:
+    def test_merge_sums_counters(self):
+        merged = HsmStats.merge(
+            [
+                HsmStats(hits=4, misses=1, evictions=2, bytes_recalled=100.0,
+                         recall_time=Duration(10.0)),
+                HsmStats(hits=1, misses=4, evictions=0, bytes_recalled=300.0,
+                         recall_time=Duration(5.0)),
+            ]
+        )
+        assert merged.hits == 5
+        assert merged.misses == 5
+        assert merged.evictions == 2
+        assert merged.bytes_recalled == pytest.approx(400.0)
+        assert merged.recall_time.seconds == pytest.approx(15.0)
+
+    def test_merge_hit_rate_weights_by_traffic(self):
+        # 9/10 on a busy store, 0/1 on an idle one: the merged rate is
+        # 9/11, not the 0.45 a naive mean of per-store rates would give.
+        busy = HsmStats(hits=9, misses=1)
+        idle = HsmStats(hits=0, misses=1)
+        merged = HsmStats.merge([busy, idle])
+        assert merged.hit_rate == pytest.approx(9 / 11)
+
+    def test_merge_of_nothing_is_zero(self):
+        merged = HsmStats.merge([])
+        assert merged == HsmStats()
+        assert merged.hit_rate == 0.0
+
+    def test_merge_live_stores(self):
+        def loaded_store(names, cache_gb):
+            library = RoboticTapeLibrary(f"lib-{names[0]}", tiny_tape(capacity_gb=100))
+            hsm = HierarchicalStore(library, cache_capacity=DataSize.gigabytes(cache_gb))
+            for name in names:
+                hsm.store(name, DataSize.gigabytes(1))
+            for name in names:
+                hsm.read(name)
+            return hsm
+
+        hot = loaded_store(["h1", "h2"], cache_gb=10)   # everything hits
+        cold = loaded_store(["c1", "c2", "c3"], cache_gb=1)  # everything misses
+        merged = HsmStats.merge([hot.stats, cold.stats])
+        assert merged.hits == hot.stats.hits
+        assert merged.misses == cold.stats.misses
+        assert merged.bytes_recalled == pytest.approx(
+            hot.stats.bytes_recalled + cold.stats.bytes_recalled
+        )
+        total = merged.hits + merged.misses
+        assert merged.hit_rate == pytest.approx(merged.hits / total)

@@ -1,0 +1,39 @@
+"""Smoke test: every script in examples/ runs end-to-end.
+
+The examples double as executable documentation; each must exit cleanly
+under ``PYTHONPATH=src`` from a scratch working directory (several write
+output trees relative to the CWD).
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+
+def test_examples_exist():
+    assert EXAMPLES, "examples/ directory has no scripts to smoke-test"
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda path: path.name)
+def test_example_runs_clean(script, tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=tmp_path,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, (
+        f"{script.name} exited {completed.returncode}\n"
+        f"--- stdout ---\n{completed.stdout[-2000:]}\n"
+        f"--- stderr ---\n{completed.stderr[-2000:]}"
+    )

@@ -6,7 +6,6 @@ transport + integrity, EventStore + CLEO physics, WebLab + grid services.
 """
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest

@@ -12,6 +12,7 @@ from repro.arecibo.pipeline import AreciboPipelineConfig, run_arecibo_pipeline
 from repro.arecibo.sky import SkyModel
 from repro.arecibo.telescope import ObservationConfig
 from repro.cleo.pipeline import CleoPipelineConfig, run_cleo_pipeline
+from repro.core.telemetry import read_event_log, strip_wall_clock
 
 
 def flow_snapshot(flow_report):
@@ -20,6 +21,15 @@ def flow_snapshot(flow_report):
         "peak": flow_report.peak_live_storage.bytes,
         "cpu": flow_report.total_cpu_time.seconds,
     }
+
+
+def canonical_log(flow_report):
+    """The run's telemetry events with the only wall-clock field stripped."""
+    return strip_wall_clock(flow_report.events)
+
+
+def persisted_canonical_log(workdir):
+    return strip_wall_clock(read_event_log(workdir / "telemetry.jsonl"))
 
 
 def provenance_chains(flow_report):
@@ -71,6 +81,14 @@ def test_figure1_parallel_matches_sequential(tmp_path, seed):
     assert parallel.multibeam_rejected == sequential.multibeam_rejected
     assert parallel.dedispersed_size == sequential.dedispersed_size
 
+    # The telemetry logs are identical event-for-event once the wall-clock
+    # timestamp (the only real-time field) is stripped — both in memory and
+    # as persisted to each workdir's telemetry.jsonl.
+    assert canonical_log(parallel.flow_report) == canonical_log(sequential.flow_report)
+    assert persisted_canonical_log(tmp_path / "par") == persisted_canonical_log(
+        tmp_path / "seq"
+    )
+
 
 @pytest.mark.parametrize("seed", [5, 11])
 def test_figure2_parallel_matches_sequential(tmp_path, seed):
@@ -95,3 +113,7 @@ def test_figure2_parallel_matches_sequential(tmp_path, seed):
     assert {k: v.bytes for k, v in parallel.sizes_by_kind.items()} == {
         k: v.bytes for k, v in sequential.sizes_by_kind.items()
     }
+    assert canonical_log(parallel.flow_report) == canonical_log(sequential.flow_report)
+    assert persisted_canonical_log(tmp_path / "par") == persisted_canonical_log(
+        tmp_path / "seq"
+    )

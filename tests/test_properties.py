@@ -6,14 +6,13 @@ laws in the transfer simulator, accounting identities in storage, format
 round-trips, merge idempotence — checked over randomized inputs.
 """
 
-import math
 
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, assume, given, settings
 from hypothesis import strategies as st
 
-from repro.core.units import DataSize, Duration, Rate
+from repro.core.units import DataSize, Rate
 from repro.storage.catalog import FileCatalog
 from repro.storage.disk import DiskPool
 from repro.storage.media import MediaType

@@ -5,8 +5,8 @@ import random
 import pytest
 
 from repro.core.errors import IntegrityError, TransportError
-from repro.core.units import DataSize, Duration, Rate
-from repro.storage.media import ATA_DISK_2005, StoredFile, checksum_for
+from repro.core.units import DataSize, Duration
+from repro.storage.media import StoredFile, checksum_for
 from repro.transport.integrity import Manifest, damage_in_transit, verify_delivery
 from repro.transport.network import ARECIBO_UPLINK, INTERNET2_100, NetworkLink
 from repro.transport.planner import TransportPlanner, crossover_bandwidth

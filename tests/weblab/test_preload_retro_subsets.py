@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.errors import WebLabError
-from repro.weblab.metadb import WebLabDatabase
 from repro.weblab.pagestore import PageStore, content_hash
 from repro.weblab.preload import PreloadConfig
 from repro.weblab.retro import RetroBrowser

@@ -14,12 +14,7 @@ from repro.weblab.datformat import (
     read_dat,
     write_dat,
 )
-from repro.weblab.synthweb import (
-    BurstSpec,
-    PageRecord,
-    SyntheticWeb,
-    SyntheticWebConfig,
-)
+from repro.weblab.synthweb import BurstSpec, SyntheticWeb, SyntheticWebConfig
 
 
 @pytest.fixture(scope="module")
