@@ -9,17 +9,26 @@ series require storage about equal to that of the original raw data."
 the full (n_trials x n_samples) block, whose byte size demonstrably ~equals
 the raw filterbank's when ``len(grid) == n_channels`` — the storage claim
 quantified in experiment FIG1.
+
+The full-grid path is batched: dispersion delay is linear in DM, so the
+per-channel delay vector is computed once at unit DM (:func:`unit_delay_samples`),
+scaled into the whole ``(n_trials, n_channels)`` integer shift matrix
+(:func:`delay_matrix`), and handed to the :func:`repro.core.kernels.shift_sum`
+gather kernel.  :func:`dedisperse_all_reference` keeps the naive per-trial
+``np.roll`` loop; the two are asserted bitwise-equal in the equivalence
+suite and benchmarked against each other in C16.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 
-from repro.arecibo.filterbank import Filterbank, dispersion_delay_s
-from repro.core.errors import SearchError
+from repro.arecibo.filterbank import KDM, Filterbank, dispersion_delay_s
+from repro.core.errors import KernelError, SearchError
+from repro.core.kernels import shift_sum
 from repro.core.units import DataSize
 
 
@@ -29,6 +38,39 @@ def delay_samples(filterbank: Filterbank, dm: float) -> np.ndarray:
     delays = dispersion_delay_s(
         dm, filterbank.channel_freqs_mhz, ref_mhz=filterbank.freq_high_mhz
     )
+    return np.round(delays / filterbank.tsamp_s).astype(np.int64)
+
+
+def unit_delay_samples(filterbank: Filterbank) -> np.ndarray:
+    """Per-channel delay in *fractional* samples at DM = 1.
+
+    Dispersion delay is linear in DM, so every trial's integer shift
+    vector is one scale-and-round away from this — the hoisted common
+    subexpression of the full-grid sweep.
+    """
+    delays = dispersion_delay_s(
+        1.0, filterbank.channel_freqs_mhz, ref_mhz=filterbank.freq_high_mhz
+    )
+    return delays / filterbank.tsamp_s
+
+
+def delay_matrix(filterbank: Filterbank, dms: Sequence[float]) -> np.ndarray:
+    """Integer shift matrix ``(n_trials, n_channels)`` for a DM sequence.
+
+    Row ``t`` is bitwise-equal to ``delay_samples(filterbank, dms[t])``:
+    the per-channel frequency term of the dispersion law is hoisted out of
+    the trial loop, and the remaining ``(KDM * dm) * term / tsamp``
+    product is evaluated in the same association order as
+    :func:`~repro.arecibo.filterbank.dispersion_delay_s`, so rounding can
+    never disagree between the batched and per-trial paths.
+    """
+    trials = np.asarray(dms, dtype=np.float64)
+    if trials.ndim != 1:
+        raise SearchError("DM trials must be a 1-D sequence")
+    if np.any(trials < 0):
+        raise SearchError("DM trials cannot be negative")
+    freq_term = filterbank.channel_freqs_mhz ** -2 - filterbank.freq_high_mhz ** -2
+    delays = (KDM * trials)[:, None] * freq_term[None, :]
     return np.round(delays / filterbank.tsamp_s).astype(np.int64)
 
 
@@ -59,6 +101,11 @@ class DMGrid:
             raise SearchError("DM trials cannot be negative")
         if list(self.trials) != sorted(self.trials):
             raise SearchError("DM trials must be ascending")
+        # Cached ascending array for searchsorted lookups; not a dataclass
+        # field, so equality/hash/repr stay defined by `trials` alone.
+        object.__setattr__(
+            self, "_trials_array", np.asarray(self.trials, dtype=np.float64)
+        )
 
     def __len__(self) -> int:
         return len(self.trials)
@@ -83,11 +130,43 @@ class DMGrid:
         return cls.linear(0.0, dm_max, n_trials)
 
     def nearest_trial(self, dm: float) -> float:
-        return min(self.trials, key=lambda trial: abs(trial - dm))
+        """The grid trial closest to ``dm``; ties go to the lower trial.
+
+        Binary search over the (validated-ascending) grid instead of an
+        O(n) ``min`` scan — this is called once per candidate during
+        sifting, against grids of hundreds of trials.
+        """
+        trials: np.ndarray = self._trials_array  # type: ignore[attr-defined]
+        index = int(np.searchsorted(trials, dm))
+        if index <= 0:
+            return self.trials[0]
+        if index >= len(self.trials):
+            return self.trials[-1]
+        lower, upper = self.trials[index - 1], self.trials[index]
+        # `<=` matches the old linear min(): first (lower) trial wins ties.
+        return lower if dm - lower <= upper - dm else upper
 
 
 def dedisperse_all(filterbank: Filterbank, grid: DMGrid) -> np.ndarray:
-    """All trials: (n_trials, n_samples) float32 block."""
+    """All trials: (n_trials, n_samples) float32 block.
+
+    One batched gather over the delay matrix — bitwise identical to
+    :func:`dedisperse_all_reference` (same per-channel accumulation order,
+    same float64 -> float32 cast), several times faster.
+    """
+    shifts = delay_matrix(filterbank, grid.trials)
+    try:
+        block = shift_sum(filterbank.data, shifts)
+    except KernelError as exc:
+        raise SearchError(str(exc)) from exc
+    return (block / filterbank.n_channels).astype(np.float32)
+
+
+def dedisperse_all_reference(filterbank: Filterbank, grid: DMGrid) -> np.ndarray:
+    """The naive per-trial loop :func:`dedisperse_all` replaces.
+
+    Retained as the equivalence oracle and the benchmark baseline.
+    """
     block = np.empty((len(grid), filterbank.n_samples), dtype=np.float32)
     for index, dm in enumerate(grid.trials):
         block[index] = dedisperse(filterbank, dm)

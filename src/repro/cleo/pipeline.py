@@ -8,7 +8,7 @@ CPU are accounted, and every artifact stored in a real EventStore on disk.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
@@ -22,6 +22,7 @@ from repro.cleo.reconstruction import Reconstructor
 from repro.core.dataflow import DataFlow
 from repro.core.dataset import Dataset
 from repro.core.engine import Engine, FlowReport
+from repro.core.stagecache import StageCache
 from repro.core.telemetry import write_event_log
 from repro.core.units import DataSize
 from repro.eventstore.hsm_store import HsmEventStore
@@ -93,11 +94,29 @@ class CleoPipelineReport:
         return rows
 
 
+def _cache_fingerprint(config: CleoPipelineConfig) -> Dict[str, object]:
+    """Stage ``cache_params`` for the Figure-2 flow.
+
+    As with Figure 1, every config parameter invalidates the cache except
+    ``workers`` — stage outputs are worker-count-invariant.
+    """
+    return {"pipeline": repr(replace(config, workers=1))}
+
+
 def run_cleo_pipeline(
     workdir: Union[str, Path],
     config: Optional[CleoPipelineConfig] = None,
+    cache: Optional[StageCache] = None,
 ) -> CleoPipelineReport:
-    """Run the whole Figure-2 flow into ``workdir``; returns the report."""
+    """Run the whole Figure-2 flow into ``workdir``; returns the report.
+
+    With a shared :class:`~repro.core.stagecache.StageCache`, reruns of an
+    unchanged configuration replay stage results (datasets, stashes, CPU
+    charges) without recomputing; each stage stashes the event products it
+    injected into the store, so a later cache *miss* downstream of a hit
+    lazily re-injects exactly the products its ancestors would have
+    written.
+    """
     config = config if config is not None else CleoPipelineConfig()
     workdir = Path(workdir)
     detector_config = DetectorConfig()
@@ -117,10 +136,36 @@ def run_cleo_pipeline(
         )
     else:
         store = CollaborationEventStore(workdir / "collab", name="cleo-collab")
-    runs: List[Run] = []
-    raw_stamps = {}
+    def kind_size(kind: str) -> DataSize:
+        return DataSize.from_bytes(float(
+            store.db.query_value(
+                "SELECT coalesce(sum(size_bytes), 0) FROM files WHERE kind = ?",
+                (kind,),
+            )
+        ))
+
+    # Stages that executed (and therefore wrote their products into this
+    # run's store).  A stage serviced from the cache leaves the store
+    # untouched; its products live in the cached stash instead.
+    injected: set = set()
+
+    def restore_products(ctx, stage_names):
+        """Re-inject products of cache-hit ancestors a miss depends on.
+
+        Idempotent per stage; only needed when an upstream stage hit while
+        this one missed (e.g. after an eviction), so the store lacks the
+        files this stage is about to read.
+        """
+        for name in stage_names:
+            if name in injected:
+                continue
+            for run, events, version, kind, stamp in ctx.dep_stash(name)["products"]:
+                store.inject(run, events, version, kind, stamp, admin=True)
+            injected.add(name)
 
     def acquire(inputs, ctx):
+        runs: List[Run] = []
+        products = []
         total = 0.0
         for index in range(config.n_runs):
             run, events, _ = detector.generate_run(
@@ -132,12 +177,19 @@ def run_cleo_pipeline(
             stamp = stamp_step("DAQ", "daq_v3", {"run": run.number})
             store.inject(run, events, "Raw_daq_v3", "raw", stamp, admin=True)
             runs.append(run)
-            raw_stamps[run.number] = stamp
+            products.append((run, events, "Raw_daq_v3", "raw", stamp))
             total += sum(event.size.bytes for event in events)
+        injected.add("acquisition")
+        ctx.stash["runs"] = runs
+        ctx.stash["products"] = products
+        ctx.stash["kind_size"] = kind_size("raw")
         return Dataset("raw-runs", DataSize(total), version="Raw_daq_v3",
                        attrs={"runs": config.n_runs})
 
     def reconstruct(inputs, ctx):
+        restore_products(ctx, ["acquisition"])
+        runs = ctx.dep_stash("acquisition")["runs"]
+        products = []
         total = 0.0
         for run in runs:
             raw_file = store.open_file(run.number, "Raw_daq_v3", "raw")
@@ -146,10 +198,17 @@ def run_cleo_pipeline(
             )
             store.inject(run, recon_events, reconstructor.version, "recon",
                          stamp, admin=True)
+            products.append((run, recon_events, reconstructor.version, "recon", stamp))
             total += sum(event.size.bytes for event in recon_events)
+        injected.add("reconstruction")
+        ctx.stash["products"] = products
+        ctx.stash["kind_size"] = kind_size("recon")
         return Dataset("recon-runs", DataSize(total), version=reconstructor.version)
 
     def post_reconstruct(inputs, ctx):
+        restore_products(ctx, ["acquisition", "reconstruction"])
+        runs = ctx.dep_stash("acquisition")["runs"]
+        products = []
         total = 0.0
         for run in runs:
             recon_file = store.open_file(run.number, reconstructor.version, "recon")
@@ -157,31 +216,49 @@ def run_cleo_pipeline(
                 run.number, recon_file.read_all(), recon_file.stamp
             )
             store.inject(run, derived, postrecon.version, "postrecon", stamp, admin=True)
+            products.append((run, derived, postrecon.version, "postrecon", stamp))
             total += sum(event.size.bytes for event in derived)
+        injected.add("post-reconstruction")
+        ctx.stash["products"] = products
+        ctx.stash["kind_size"] = kind_size("postrecon")
         return Dataset("postrecon-runs", DataSize(total), version=postrecon.version)
 
     def monte_carlo(inputs, ctx):
+        runs = ctx.dep_stash("acquisition")["runs"]
         personal = produce_offsite_mc(
             mc_producer, runs, workdir / "offsite", site="remote-u",
             base_seed=config.seed + 1000,
         )
         merge_into(personal, store)
         personal.close()
-        total = float(
-            store.db.query_value(
-                "SELECT coalesce(sum(size_bytes), 0) FROM files WHERE kind = 'mc'"
+        products = []
+        for run in runs:
+            mc_file = store.open_file(run.number, mc_producer.version, "mc")
+            products.append(
+                (run, mc_file.read_all(), mc_producer.version, "mc", mc_file.stamp)
             )
+        injected.add("monte-carlo")
+        ctx.stash["products"] = products
+        ctx.stash["kind_size"] = kind_size("mc")
+        return Dataset(
+            "mc-runs", ctx.stash["kind_size"], version=mc_producer.version
         )
-        return Dataset("mc-runs", DataSize(total), version=mc_producer.version)
 
     def grade_and_analyze(inputs, ctx):
+        restore_products(
+            ctx,
+            ["acquisition", "reconstruction", "post-reconstruction", "monte-carlo"],
+        )
+        runs = ctx.dep_stash("acquisition")["runs"]
         assignments = {run_key(run.number): reconstructor.version for run in runs}
         store.assign_grade(config.grade, config.grade_timestamp, assignments, admin=True)
         job = AnalysisJob(
             "trackSpread", store, config.grade, config.grade_timestamp + 1.0
         )
         result = job.run()
-        grade_and_analyze.result = result  # surfaced to the report below
+        injected.add("physics-analysis")
+        ctx.stash["analysis"] = result
+        ctx.stash["storage"] = store.storage_report() if config.use_hsm else None
         return Dataset(
             "analysis-products",
             DataSize.from_bytes(float(result.histogram.counts.nbytes)),
@@ -189,40 +266,70 @@ def run_cleo_pipeline(
             attrs={"selected": result.events_selected},
         )
 
+    fingerprint = _cache_fingerprint(config)
     flow = DataFlow("cleo-figure2")
     flow.stage("acquisition", acquire, site="CESR/CLEO",
-               description="runs of collision measurements")
+               description="runs of collision measurements",
+               cache_params=fingerprint)
     flow.stage("reconstruction", reconstruct, site="Cornell",
-               cpu_seconds_per_gb=2000, description="track fitting per run")
+               cpu_seconds_per_gb=2000, description="track fitting per run",
+               cache_params=fingerprint)
     flow.stage("post-reconstruction", post_reconstruct, site="Cornell",
-               cpu_seconds_per_gb=300, description="run-statistics pass + dozen ASUs")
+               cpu_seconds_per_gb=300, description="run-statistics pass + dozen ASUs",
+               cache_params=fingerprint)
     flow.stage("monte-carlo", monte_carlo, site="offsite",
-               cpu_seconds_per_gb=3000, description="MC generation, USB-disk merge")
+               cpu_seconds_per_gb=3000, description="MC generation, USB-disk merge",
+               cache_params=fingerprint)
     flow.stage("physics-analysis", grade_and_analyze, site="Cornell/remote",
-               cpu_seconds_per_gb=100, description="pinned grade+timestamp analysis")
+               cpu_seconds_per_gb=100, description="pinned grade+timestamp analysis",
+               cache_params=fingerprint)
     flow.chain("acquisition", "reconstruction", "post-reconstruction")
     flow.connect("acquisition", "monte-carlo", label="run conditions")
     flow.connect("post-reconstruction", "physics-analysis")
     flow.connect("monte-carlo", "physics-analysis", label="simulation")
 
-    flow_report = Engine(seed=config.seed, max_workers=config.workers).run(flow)
+    flow_report = Engine(
+        seed=config.seed, max_workers=config.workers, cache=cache
+    ).run(flow)
     write_event_log(workdir / "telemetry.jsonl", flow_report.events)
+    stashes = flow_report.stashes
 
-    sizes_by_kind: Dict[str, DataSize] = {}
-    for kind in ("raw", "recon", "postrecon", "mc"):
-        value = store.db.query_value(
-            "SELECT coalesce(sum(size_bytes), 0) FROM files WHERE kind = ?", (kind,)
+    # Cache-hit stages never touched this run's store; re-inject their
+    # products and the pinned grade so the persisted EventStore matches a
+    # cold run's (downstream consumers replay analyses from store_root).
+    for name in ("acquisition", "reconstruction", "post-reconstruction",
+                 "monte-carlo"):
+        if name in injected:
+            continue
+        for run, events, version, kind, stamp in stashes[name]["products"]:
+            store.inject(run, events, version, kind, stamp, admin=True)
+        injected.add(name)
+    if "physics-analysis" not in injected:
+        store.assign_grade(
+            config.grade,
+            config.grade_timestamp,
+            {
+                run_key(run.number): reconstructor.version
+                for run in stashes["acquisition"]["runs"]
+            },
+            admin=True,
         )
-        sizes_by_kind[kind] = DataSize.from_bytes(float(value))
+
+    sizes_by_kind: Dict[str, DataSize] = {
+        "raw": stashes["acquisition"]["kind_size"],
+        "recon": stashes["reconstruction"]["kind_size"],
+        "postrecon": stashes["post-reconstruction"]["kind_size"],
+        "mc": stashes["monte-carlo"]["kind_size"],
+    }
 
     report = CleoPipelineReport(
         config=config,
         flow_report=flow_report,
         store_root=store.root,
-        runs=runs,
+        runs=stashes["acquisition"]["runs"],
         sizes_by_kind=sizes_by_kind,
-        analysis=grade_and_analyze.result,
-        storage=store.storage_report() if config.use_hsm else None,
+        analysis=stashes["physics-analysis"]["analysis"],
+        storage=stashes["physics-analysis"]["storage"],
     )
     store.close()
     return report

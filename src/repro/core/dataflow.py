@@ -43,6 +43,12 @@ class Stage:
         Cost model: simulated CPU time consumed per GB of input processed.
     description:
         One-line summary shown in rendered figures.
+    cache_params:
+        Parameters the stage's behaviour depends on beyond its inputs and
+        seed (pipeline configuration, release versions, thresholds).
+        Folded into the stage-cache key: a stage whose ``cache_params``
+        differ never reuses a cached result.  ``None`` disables nothing —
+        it simply contributes an empty parameter set to the key.
     """
 
     name: str
@@ -50,6 +56,7 @@ class Stage:
     site: str = "local"
     cpu_seconds_per_gb: float = 0.0
     description: str = ""
+    cache_params: Optional[Mapping[str, object]] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -100,6 +107,7 @@ class DataFlow:
         site: str = "local",
         cpu_seconds_per_gb: float = 0.0,
         description: str = "",
+        cache_params: Optional[Mapping[str, object]] = None,
     ) -> Stage:
         """Convenience: build and add a stage in one call."""
         return self.add_stage(
@@ -109,6 +117,7 @@ class DataFlow:
                 site=site,
                 cpu_seconds_per_gb=cpu_seconds_per_gb,
                 description=description,
+                cache_params=cache_params,
             )
         )
 

@@ -36,6 +36,15 @@ that stream.  Because emission happens during the topological replay, a
 parallel run's event log is byte-identical to the sequential run's once
 wall-clock fields are stripped — and a persisted JSONL log can regenerate
 the report offline (see :func:`repro.core.telemetry.flow_summary_from_log`).
+
+Passing a :class:`~repro.core.stagecache.StageCache` lets the engine skip
+stages whose content address — flow, stage identity, per-stage seed,
+declared ``cache_params``, and input provenance digests — matches a prior
+execution.  A hit restores the recorded output, CPU charge, and stage
+stash, then commits provenance and replays accounting exactly as if the
+stage had run, so cached and uncached runs produce identical reports and
+event logs.  Because the same byte-identical contract holds across worker
+counts, a cache primed by a sequential run services a parallel rerun.
 """
 
 from __future__ import annotations
@@ -48,8 +57,9 @@ from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.core.dataflow import DataFlow, Stage
 from repro.core.dataset import Dataset
-from repro.core.errors import ExecutionError
+from repro.core.errors import ExecutionError, ProvenanceError
 from repro.core.provenance import ProcessingStep, ProvenanceStore
+from repro.core.stagecache import CachedStage, StageCache, stage_key
 from repro.core.telemetry import (
     Telemetry,
     TelemetryEvent,
@@ -114,6 +124,13 @@ class FlowReport:
     #: persisted copy of the slice regenerates the report offline.
     telemetry: Optional[Telemetry] = field(default=None, repr=False)
     events: List[TelemetryEvent] = field(default_factory=list, repr=False)
+    #: Per-stage out-of-band results: ``{stage name: ctx.stash mapping}``.
+    #: Pipelines publish side-channel state (ground truth, domain objects)
+    #: here instead of into closures, which is what lets a cache hit
+    #: restore everything a warm rerun's post-processing needs.
+    stashes: Dict[str, Mapping[str, object]] = field(
+        default_factory=dict, repr=False
+    )
 
     @property
     def total_cpu_time(self) -> Duration:
@@ -170,16 +187,38 @@ class StageContext:
         engine: "Engine",
         provenance: ProvenanceStore,
         rng: random.Random,
+        stashes: Optional[Mapping[str, Mapping[str, object]]] = None,
     ):
         self.stage = stage
         self.engine = engine
         self.provenance = provenance
         self.rng = rng
+        #: Out-of-band results this stage publishes for ancestors-agnostic
+        #: consumers: downstream stages (via :meth:`dep_stash`), the final
+        #: FlowReport (``report.stashes``), and the stage cache.  Treat the
+        #: mapping as frozen once the transform returns.
+        self.stash: Dict[str, object] = {}
+        self._stashes = stashes if stashes is not None else {}
         self._extra_cpu_seconds = 0.0
 
     def charge_cpu(self, duration: Duration) -> None:
         """Let a stage report extra simulated CPU work beyond the size model."""
         self._extra_cpu_seconds += duration.seconds
+
+    def dep_stash(self, stage_name: str) -> Mapping[str, object]:
+        """The stash a completed ancestor stage published.
+
+        Available for any stage that finished before this one was started
+        (the engine registers stashes before submitting successors, under
+        both execution strategies); cached stages restore their recorded
+        stash, so hits and real executions are indistinguishable here.
+        """
+        try:
+            return self._stashes[stage_name]
+        except KeyError:
+            raise ExecutionError(
+                self.stage.name, f"no stash published by stage {stage_name!r}"
+            ) from None
 
     @property
     def extra_cpu(self) -> Duration:
@@ -192,6 +231,8 @@ class _StageResult:
 
     output: Dataset
     extra_cpu_seconds: float
+    stash: Dict[str, object] = field(default_factory=dict)
+    from_cache: bool = False
 
 
 class Engine:
@@ -214,6 +255,13 @@ class Engine:
         :class:`~repro.core.telemetry.Telemetry` by default, so a run's
         event log starts at sequence 0 and is reproducible — pass a shared
         instance to interleave several flows into one stream.
+    cache:
+        Optional :class:`~repro.core.stagecache.StageCache`.  When
+        supplied, each stage is looked up by its content address before
+        execution; hits restore the recorded result (output, CPU charge,
+        stash) and skip the transform entirely, while provenance,
+        accounting, and telemetry replay identically to a real execution.
+        Share one cache across engines to make whole reruns warm.
     """
 
     def __init__(
@@ -222,11 +270,13 @@ class Engine:
         seed: int = 0,
         max_workers: int = 1,
         telemetry: Optional[Telemetry] = None,
+        cache: Optional[StageCache] = None,
     ):
         if max_workers < 1:
             raise ExecutionError("engine", f"max_workers must be >= 1, got {max_workers}")
         self.provenance = provenance if provenance is not None else ProvenanceStore()
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.cache = cache
         self._seed = seed
         self._max_workers = int(max_workers)
 
@@ -253,11 +303,12 @@ class Engine:
         # Reserve provenance ids in topological order so the lineage graph
         # is numbered identically regardless of execution strategy.
         reserved = {name: self.provenance.reserve_id() for name in order}
+        stashes: Dict[str, Mapping[str, object]] = {}
         if self._max_workers == 1:
-            results = self._execute_sequential(flow, order, seeds, reserved)
+            results = self._execute_sequential(flow, order, seeds, reserved, stashes)
         else:
-            results = self._execute_parallel(flow, order, seeds, reserved)
-        return self._build_report(flow, order, seeds, reserved, results)
+            results = self._execute_parallel(flow, order, seeds, reserved, stashes)
+        return self._build_report(flow, order, seeds, reserved, results, stashes)
 
     # -- execution ---------------------------------------------------------
     @staticmethod
@@ -294,10 +345,11 @@ class Engine:
         flow: DataFlow,
         name: str,
         stage_inputs: Mapping[str, Dataset],
+        stashes: Mapping[str, Mapping[str, object]],
     ) -> _StageResult:
         stage = flow.stages[name]
         rng = random.Random(_stage_seed(self._seed, name))
-        context = StageContext(stage, self, self.provenance, rng)
+        context = StageContext(stage, self, self.provenance, rng, stashes)
         try:
             output = stage.fn(stage_inputs, context)
         except ExecutionError:
@@ -308,7 +360,85 @@ class Engine:
             raise ExecutionError(
                 name, f"stage returned {type(output).__name__}, expected Dataset"
             )
-        return _StageResult(output=output, extra_cpu_seconds=context.extra_cpu.seconds)
+        return _StageResult(
+            output=output,
+            extra_cpu_seconds=context.extra_cpu.seconds,
+            stash=context.stash,
+        )
+
+    # -- stage cache -------------------------------------------------------
+    def _cache_descriptor(self, slot: str, dataset: Dataset) -> str:
+        """Content description of one stage input for cache keying.
+
+        Extends the provenance descriptor (name@version) with the input's
+        stamp digest and exact byte size: the digest covers the entire
+        upstream derivation history (the paper's MD5-comparison test), and
+        the size catches seed datasets fed from outside the flow, which
+        carry no stamp.
+        """
+        digest = "unstamped"
+        if dataset.provenance_id is not None:
+            try:
+                digest = self.provenance.digest_of(dataset.provenance_id)
+            except ProvenanceError:
+                pass
+        return f"{slot}={_input_descriptor(dataset)}#{digest}:{dataset.size.bytes!r}"
+
+    def _cache_key(
+        self,
+        flow: DataFlow,
+        name: str,
+        stage_inputs: Mapping[str, Dataset],
+    ) -> str:
+        stage = flow.stages[name]
+        return stage_key(
+            flow_name=flow.name,
+            stage_name=name,
+            site=stage.site,
+            cpu_seconds_per_gb=stage.cpu_seconds_per_gb,
+            stage_seed=_stage_seed(self._seed, name),
+            input_descriptors=[
+                self._cache_descriptor(slot, dataset)
+                for slot, dataset in stage_inputs.items()
+            ],
+            cache_params=stage.cache_params,
+        )
+
+    def _cache_lookup(
+        self,
+        flow: DataFlow,
+        name: str,
+        stage_inputs: Mapping[str, Dataset],
+    ) -> Tuple[Optional[str], Optional[_StageResult]]:
+        """Try to service a stage from the cache.
+
+        Returns ``(key, result)``: key is None when no cache is attached;
+        result is None on a miss.  A hit rebuilds a fresh output Dataset
+        (re-committed with this run's reserved provenance id) and restores
+        the recorded stash.
+        """
+        if self.cache is None:
+            return None, None
+        key = self._cache_key(flow, name, stage_inputs)
+        entry = self.cache.lookup(key)
+        if entry is None:
+            return key, None
+        return key, _StageResult(
+            output=entry.rebuild_output(),
+            extra_cpu_seconds=entry.extra_cpu_seconds,
+            stash=dict(entry.stash),
+            from_cache=True,
+        )
+
+    def _cache_store(self, key: Optional[str], result: _StageResult) -> None:
+        if self.cache is None or key is None or result.from_cache:
+            return
+        self.cache.store(
+            key,
+            CachedStage.capture(
+                result.output, result.extra_cpu_seconds, result.stash
+            ),
+        )
 
     def _commit(
         self,
@@ -346,13 +476,18 @@ class Engine:
         order: List[str],
         seeds: Mapping[str, Dataset],
         reserved: Mapping[str, str],
+        stashes: Dict[str, Mapping[str, object]],
     ) -> Dict[str, _StageResult]:
         results: Dict[str, _StageResult] = {}
         for name in order:
             stage_inputs = self._stage_inputs(flow, name, seeds, results)
-            result = self._run_stage(flow, name, stage_inputs)
+            key, result = self._cache_lookup(flow, name, stage_inputs)
+            if result is None:
+                result = self._run_stage(flow, name, stage_inputs, stashes)
             self._commit(flow, name, stage_inputs, result, reserved)
             results[name] = result
+            stashes[name] = result.stash
+            self._cache_store(key, result)
         return results
 
     def _execute_parallel(
@@ -361,23 +496,64 @@ class Engine:
         order: List[str],
         seeds: Mapping[str, Dataset],
         reserved: Mapping[str, str],
+        stashes: Dict[str, Mapping[str, object]],
     ) -> Dict[str, _StageResult]:
         """Run independent stages concurrently; commit on completion.
 
         The scheduler (this thread) owns all bookkeeping: workers only
         execute stage transforms, so no shared mutable state crosses the
-        pool boundary except what stage functions themselves share.
+        pool boundary except what stage functions themselves share.  Cache
+        lookups also happen here, at submit time: a hit completes the
+        stage synchronously (never reaching the pool) and may ready
+        further stages, so a fully warm run finishes without a single
+        worker dispatch.
         """
         results: Dict[str, _StageResult] = {}
         remaining_preds = {name: len(flow.predecessors(name)) for name in order}
         failures: Dict[str, ExecutionError] = {}
+        # A cache hit at submit time completes a stage synchronously and can
+        # drop a successor's pred-count to zero before the initial seeding
+        # loop reaches it; `scheduled` keeps any stage from running twice.
+        scheduled: set = set()
         with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
-            pending: Dict[Future, Tuple[str, Dict[str, Dataset]]] = {}
+            pending: Dict[Future, Tuple[str, Dict[str, Dataset], Optional[str]]] = {}
+
+            def complete(
+                name: str,
+                stage_inputs: Dict[str, Dataset],
+                key: Optional[str],
+                result: _StageResult,
+            ) -> List[str]:
+                """Commit a finished stage; return newly-ready successors."""
+                self._commit(flow, name, stage_inputs, result, reserved)
+                results[name] = result
+                stashes[name] = result.stash
+                self._cache_store(key, result)
+                ready = []
+                for succ in flow.successors(name):
+                    remaining_preds[succ] -= 1
+                    if remaining_preds[succ] == 0:
+                        ready.append(succ)
+                return ready
 
             def submit(name: str) -> None:
-                stage_inputs = self._stage_inputs(flow, name, seeds, results)
-                future = pool.submit(self._run_stage, flow, name, stage_inputs)
-                pending[future] = (name, stage_inputs)
+                worklist = [name]
+                while worklist:
+                    current = worklist.pop(0)
+                    if current in scheduled:
+                        continue
+                    scheduled.add(current)
+                    stage_inputs = self._stage_inputs(flow, current, seeds, results)
+                    key, result = self._cache_lookup(flow, current, stage_inputs)
+                    if result is not None:
+                        ready = complete(current, stage_inputs, key, result)
+                        if not failures:
+                            worklist.extend(ready)
+                        continue
+                    future = pool.submit(
+                        self._run_stage, flow, current, stage_inputs, stashes
+                    )
+                    pending[future] = (current, stage_inputs, key)
 
             for name in order:
                 if remaining_preds[name] == 0:
@@ -385,18 +561,15 @@ class Engine:
             while pending:
                 done, _ = wait(list(pending), return_when=FIRST_COMPLETED)
                 for future in done:
-                    name, stage_inputs = pending.pop(future)
+                    name, stage_inputs, key = pending.pop(future)
                     try:
                         result = future.result()
                     except ExecutionError as exc:
                         failures[name] = exc
                         continue
-                    self._commit(flow, name, stage_inputs, result, reserved)
-                    results[name] = result
-                    for succ in flow.successors(name):
-                        remaining_preds[succ] -= 1
-                        if remaining_preds[succ] == 0 and not failures:
-                            submit(succ)
+                    for ready_name in complete(name, stage_inputs, key, result):
+                        if not failures:
+                            submit(ready_name)
         if failures:
             # Surface the failure a sequential run would have hit first.
             first = min(failures, key=order.index)
@@ -411,6 +584,7 @@ class Engine:
         seeds: Mapping[str, Dataset],
         reserved: Mapping[str, str],
         results: Mapping[str, _StageResult],
+        stashes: Mapping[str, Mapping[str, object]],
     ) -> FlowReport:
         """Replay accounting over completed stages in topological order,
         emitting the telemetry event stream, then rebuild the report as a
@@ -514,6 +688,7 @@ class Engine:
                 )
             )
         report.outputs = {name: results[name].output for name in flow.sinks()}
+        report.stashes = dict(stashes)
         report.peak_live_storage = peak_storage_from_log(run_events)
         return report
 
@@ -530,10 +705,12 @@ class ParallelEngine(Engine):
         seed: int = 0,
         max_workers: int = 4,
         telemetry: Optional[Telemetry] = None,
+        cache: Optional[StageCache] = None,
     ):
         super().__init__(
             provenance=provenance,
             seed=seed,
             max_workers=max_workers,
             telemetry=telemetry,
+            cache=cache,
         )

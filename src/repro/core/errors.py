@@ -52,6 +52,14 @@ class TelemetryError(ReproError):
     """Telemetry misuse: unknown event kind, malformed log, bad instrument."""
 
 
+class KernelError(ReproError):
+    """Batched numeric kernel misuse (bad shapes, degenerate inputs, ...)."""
+
+
+class CacheError(ReproError):
+    """Stage-result cache misuse (bad capacity, malformed entry, ...)."""
+
+
 class TransportError(ReproError):
     """Transfer planning or execution failure."""
 

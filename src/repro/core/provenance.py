@@ -224,6 +224,11 @@ class ProvenanceStore:
     def get(self, record_id: str) -> ProvenanceRecord:
         return self._get(record_id)
 
+    def digest_of(self, record_id: str) -> str:
+        """The record's stamp digest — the content address the paper's
+        "compare the hashes" test (and the stage cache) keys on."""
+        return self._get(record_id).stamp.digest
+
     def records_for(self, artifact: str) -> List[ProvenanceRecord]:
         """All derivations recorded for an artifact name, oldest first."""
         return [self._records[rid] for rid in self._by_artifact.get(artifact, [])]

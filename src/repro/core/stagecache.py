@@ -1,0 +1,233 @@
+"""Provenance-keyed stage-result cache.
+
+The *Pipeline-Centric Provenance Model* observation this module exploits:
+the descriptors a provenance record already carries — module name,
+version, parameters, input file descriptions — are exactly the key needed
+to decide whether a prior stage output can be reused.  CLEO's staged
+production ("recompute only what changed") is the same pattern at
+collaboration scale.
+
+A :class:`StageCache` stores, per content-addressed key, everything the
+engine needs to *skip* a stage while keeping the run observably identical:
+the output dataset snapshot, the extra CPU seconds the transform charged,
+and the stage's out-of-band stash (see ``StageContext.stash``).  On a hit
+the engine replays provenance recording, accounting, and telemetry from
+the snapshot, so a warm rerun's FlowReport and event log are byte-identical
+to the cold run's (modulo wall clock, which the telemetry layer already
+segregates).
+
+Keys cover the flow name, stage name/site/cost model, the per-stage RNG
+seed, the stage's declared ``cache_params``, and a descriptor of every
+input dataset including its provenance-stamp MD5 digest — the paper's own
+"compare the hashes" discrepancy test, applied before compute instead of
+after.  Anything that would change the stage's behaviour must appear in
+one of those; pipelines surface their config through ``cache_params``.
+
+Hits, misses, and evictions are registry-backed counters
+(``stage_cache.hits`` etc.) so they flow into benchmark report rows like
+every other instrument.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.dataset import Dataset
+from repro.core.errors import CacheError
+from repro.core.telemetry import MetricsRegistry
+from repro.core.units import DataSize
+
+
+def stage_key(
+    flow_name: str,
+    stage_name: str,
+    site: str,
+    cpu_seconds_per_gb: float,
+    stage_seed: int,
+    input_descriptors: Sequence[str],
+    cache_params: Optional[Mapping[str, object]] = None,
+) -> str:
+    """Content address of one stage execution.
+
+    Deterministic across processes: every component is rendered to a
+    canonical JSON document and hashed with SHA-256.  Input descriptors
+    are sorted, matching how the engine freezes them into provenance
+    records.
+    """
+    payload = {
+        "flow": flow_name,
+        "stage": stage_name,
+        "site": site,
+        "cpu_seconds_per_gb": repr(float(cpu_seconds_per_gb)),
+        "seed": int(stage_seed),
+        "inputs": sorted(str(descriptor) for descriptor in input_descriptors),
+        "params": {str(k): str(v) for k, v in (cache_params or {}).items()},
+    }
+    blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+@dataclass
+class CachedStage:
+    """Everything needed to replay one stage without running it."""
+
+    output_name: str
+    output_version: str
+    output_bytes: float
+    output_items: tuple = ()
+    output_attrs: Mapping[str, object] = field(default_factory=dict)
+    extra_cpu_seconds: float = 0.0
+    stash: Mapping[str, object] = field(default_factory=dict)
+
+    @classmethod
+    def capture(
+        cls,
+        output: Dataset,
+        extra_cpu_seconds: float,
+        stash: Mapping[str, object],
+    ) -> "CachedStage":
+        """Snapshot a completed stage's result.
+
+        The dataset's mutable containers are copied shallowly; the stash
+        is stored as-is (stage stashes are treated as immutable once the
+        stage returns — the same contract downstream stages already rely
+        on when reading a predecessor's stash).
+        """
+        return cls(
+            output_name=output.name,
+            output_version=output.version,
+            output_bytes=output.size.bytes,
+            output_items=tuple(output.items),
+            output_attrs=dict(output.attrs),
+            extra_cpu_seconds=float(extra_cpu_seconds),
+            stash=dict(stash),
+        )
+
+    def rebuild_output(self) -> Dataset:
+        """A fresh Dataset equivalent to the one the stage returned.
+
+        ``provenance_id`` is left unset — the engine re-commits the stage
+        and attaches the run's own reserved id, exactly as it would after
+        real execution.  ``dataset_id`` is freshly allocated; it is
+        process-local bookkeeping excluded from provenance descriptors.
+        """
+        return Dataset(
+            name=self.output_name,
+            size=DataSize(self.output_bytes),
+            items=list(self.output_items),
+            version=self.output_version,
+            attrs=dict(self.output_attrs),
+        )
+
+
+class StageCache:
+    """LRU cache of :class:`CachedStage` snapshots keyed by provenance.
+
+    Parameters
+    ----------
+    max_entries:
+        Optional capacity; least-recently-used entries are evicted past
+        it.  ``None`` (default) means unbounded — figure pipelines have a
+        handful of stages.
+    registry:
+        Metrics registry the hit/miss/eviction counters live in; a private
+        one is created if not supplied.  Pass the engine's registry to
+        surface cache traffic alongside the flow's other instruments.
+    """
+
+    def __init__(
+        self,
+        max_entries: Optional[int] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        if max_entries is not None and max_entries < 1:
+            raise CacheError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._entries: "OrderedDict[str, CachedStage]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def lookup(self, key: str) -> Optional[CachedStage]:
+        """Return the entry for ``key`` (marking it recently used), or None."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.registry.counter("stage_cache.misses").inc()
+                return None
+            self._entries.move_to_end(key)
+            self.registry.counter("stage_cache.hits").inc()
+            return entry
+
+    def store(self, key: str, entry: CachedStage) -> None:
+        """Insert ``entry``, evicting LRU entries past ``max_entries``."""
+        if not isinstance(entry, CachedStage):
+            raise CacheError(
+                f"expected a CachedStage, got {type(entry).__name__}"
+            )
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while self.max_entries is not None and len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.registry.counter("stage_cache.evictions").inc()
+            self.registry.gauge("stage_cache.entries").set(float(len(self._entries)))
+
+    def invalidate(self, key: str) -> bool:
+        """Drop one entry; returns whether it existed."""
+        with self._lock:
+            existed = self._entries.pop(key, None) is not None
+            self.registry.gauge("stage_cache.entries").set(float(len(self._entries)))
+            return existed
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.registry.gauge("stage_cache.entries").set(0.0)
+
+    # -- counters ---------------------------------------------------------
+    @property
+    def hits(self) -> int:
+        return int(self.registry.value("stage_cache.hits"))
+
+    @property
+    def misses(self) -> int:
+        return int(self.registry.value("stage_cache.misses"))
+
+    @property
+    def evictions(self) -> int:
+        return int(self.registry.value("stage_cache.evictions"))
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self),
+        }
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Benchmark-table rows for the cache counters."""
+        return [
+            {"metric": f"stage_cache.{name}", "value": value}
+            for name, value in self.stats().items()
+        ]
+
+
+__all__: Tuple[str, ...] = (
+    "CachedStage",
+    "StageCache",
+    "stage_key",
+)

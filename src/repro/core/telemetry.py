@@ -300,6 +300,16 @@ class MetricsRegistry:
     def as_dict(self) -> Dict[str, float]:
         return {name: self.value(name) for name in self.names()}
 
+    def rows(self, prefix: str = "") -> List[Dict[str, object]]:
+        """Benchmark-table rows (``metric``/``value``) for instruments whose
+        name starts with ``prefix`` — the bridge from live counters to the
+        ``report_rows`` tables the benchmark suite emits."""
+        return [
+            {"metric": name, "value": self.value(name)}
+            for name in self.names()
+            if name.startswith(prefix)
+        ]
+
 
 # -- the bus -------------------------------------------------------------
 class Telemetry:

@@ -78,6 +78,11 @@ class CrawlSnapshot:
     def urls(self) -> Set[str]:
         return {page.url for page in self.pages}
 
+    def documents(self) -> List[Tuple[str, str]]:
+        """(url, content) pairs in fetch order — the shape the text-index
+        bulk build (:meth:`TextIndex.add_many`) consumes."""
+        return [(page.url, page.content) for page in self.pages]
+
 
 @dataclass
 class SyntheticWebConfig:

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Set, Tuple
 
 from repro.core.errors import WebLabError
+from repro.core.kernels import index_postings
 
 _TOKEN_RE = re.compile(r"[a-z0-9]+")
 
@@ -38,6 +39,9 @@ class TextIndex:
     def __init__(self, stopwords: frozenset = _STOPWORDS):
         self._postings: Dict[str, Dict[str, int]] = {}
         self._doc_lengths: Dict[str, int] = {}
+        # Per-document term lists make removal O(document terms) instead of
+        # a scan over the whole vocabulary.
+        self._doc_terms: Dict[str, Tuple[str, ...]] = {}
         self._stopwords = stopwords
 
     def __len__(self) -> int:
@@ -53,20 +57,48 @@ class TextIndex:
             self.remove(url)
         tokens = [t for t in tokenize(text) if t not in self._stopwords]
         self._doc_lengths[url] = len(tokens)
-        for token, count in Counter(tokens).items():
+        counts = Counter(tokens)
+        self._doc_terms[url] = tuple(counts)
+        for token, count in counts.items():
             self._postings.setdefault(token, {})[url] = count
+
+    def add_many(self, documents: Iterable[Tuple[str, str]]) -> None:
+        """Index a batch of (url, text) documents in one pass.
+
+        Equivalent to calling :meth:`add` per document (later duplicates
+        win), but the postings merge runs through the batched
+        :func:`repro.core.kernels.index_postings` core — the bulk-build
+        path crawl snapshots use.
+        """
+        stopwords = self._stopwords
+        tokenized = [
+            (url, [t for t in tokenize(text) if t not in stopwords])
+            for url, text in documents
+        ]
+        for url, _ in tokenized:
+            if url in self._doc_lengths:
+                self.remove(url)
+        postings, doc_lengths, doc_terms = index_postings(tokenized)
+        self._doc_lengths.update(doc_lengths)
+        self._doc_terms.update(doc_terms)
+        for term, bucket in postings.items():
+            existing = self._postings.get(term)
+            if existing is None:
+                self._postings[term] = bucket
+            else:
+                existing.update(bucket)
 
     def remove(self, url: str) -> None:
         if url not in self._doc_lengths:
             raise WebLabError(f"index has no document {url!r}")
         del self._doc_lengths[url]
-        empty_terms = []
-        for term, postings in self._postings.items():
+        for term in self._doc_terms.pop(url):
+            postings = self._postings.get(term)
+            if postings is None:
+                continue
             postings.pop(url, None)
             if not postings:
-                empty_terms.append(term)
-        for term in empty_terms:
-            del self._postings[term]
+                del self._postings[term]
 
     def document_frequency(self, term: str) -> int:
         return len(self._postings.get(term.lower(), {}))
@@ -94,8 +126,7 @@ class TextIndex:
 
 
 def build_index(documents: Iterable[Tuple[str, str]]) -> TextIndex:
-    """Index (url, text) pairs."""
+    """Index (url, text) pairs via the batched :meth:`TextIndex.add_many`."""
     index = TextIndex()
-    for url, text in documents:
-        index.add(url, text)
+    index.add_many(documents)
     return index

@@ -1,0 +1,161 @@
+"""Batched search paths vs their retained naive references.
+
+The production pipeline runs the batched kernels; these tests hold them
+bitwise-equal to the per-trial loops across the awkward regimes — DM
+delays that wrap past the observation length, harmonic ladders truncated
+by short spectra, and fold periods short enough to shrink the bin count.
+"""
+
+import numpy as np
+import pytest
+
+from repro.arecibo.dedisperse import (
+    DMGrid,
+    dedisperse_all,
+    dedisperse_all_reference,
+    delay_matrix,
+    delay_samples,
+    unit_delay_samples,
+)
+from repro.arecibo.folding import fold, fold_many, refine_period, refine_period_reference
+from repro.arecibo.fourier import search_dm_block, search_dm_block_reference
+from repro.arecibo.sky import Pulsar
+from repro.arecibo.telescope import ObservationConfig, ObservationSimulator
+from repro.core.errors import SearchError
+
+from tests.arecibo.conftest import SMALL_CONFIG, single_pulsar_pointing
+
+
+def small_filterbank(seed=9, config=SMALL_CONFIG):
+    simulator = ObservationSimulator(config)
+    pointing = single_pulsar_pointing(
+        Pulsar(name="PSR_EQ", period_s=0.08, dm=40.0, snr=12.0, duty_cycle=0.05),
+        beam=2,
+    )
+    return simulator.observe(pointing, seed=seed)[2]
+
+
+class TestDelayMatrix:
+    def test_rows_match_per_trial_delays(self):
+        filterbank = small_filterbank()
+        grid = DMGrid.linear(0.0, 120.0, 37)
+        matrix = delay_matrix(filterbank, grid.trials)
+        for row, dm in enumerate(grid.trials):
+            assert np.array_equal(matrix[row], delay_samples(filterbank, dm))
+
+    def test_unit_delay_scales_linearly(self):
+        filterbank = small_filterbank()
+        unit = unit_delay_samples(filterbank)
+        np.testing.assert_allclose(
+            np.round(50.0 * unit),
+            delay_samples(filterbank, 50.0).astype(float),
+            atol=1.0,  # rounding of scaled vs exact differs by at most 1 sample
+        )
+
+    def test_rejects_negative_and_2d_trials(self):
+        filterbank = small_filterbank()
+        with pytest.raises(SearchError):
+            delay_matrix(filterbank, [-1.0])
+        with pytest.raises(SearchError):
+            delay_matrix(filterbank, np.zeros((2, 2)))
+
+
+class TestBatchedDedispersion:
+    def test_matches_reference(self):
+        filterbank = small_filterbank()
+        grid = DMGrid.matched(filterbank, 100.0)
+        assert np.array_equal(
+            dedisperse_all(filterbank, grid),
+            dedisperse_all_reference(filterbank, grid),
+        )
+
+    def test_matches_reference_with_wraparound(self):
+        """DMs large enough that channel delays exceed the observation."""
+        config = ObservationConfig(n_channels=32, n_samples=512)
+        filterbank = small_filterbank(seed=4, config=config)
+        grid = DMGrid.linear(0.0, 2000.0, 24)
+        assert delay_matrix(filterbank, grid.trials).max() > config.n_samples
+        assert np.array_equal(
+            dedisperse_all(filterbank, grid),
+            dedisperse_all_reference(filterbank, grid),
+        )
+
+
+class TestNearestTrial:
+    def test_matches_linear_scan(self):
+        grid = DMGrid.linear(0.0, 100.0, 41)
+        rng = np.random.default_rng(6)
+        probes = list(rng.uniform(-10.0, 110.0, size=100)) + list(grid.trials)
+        for dm in probes:
+            expected = min(grid.trials, key=lambda trial: abs(trial - dm))
+            assert grid.nearest_trial(float(dm)) == expected
+
+    def test_tie_goes_to_lower_trial(self):
+        grid = DMGrid(trials=(0.0, 1.0, 2.0))
+        assert grid.nearest_trial(0.5) == 0.0
+        assert grid.nearest_trial(1.5) == 1.0
+
+
+class TestBatchedSpectrumSearch:
+    def test_matches_reference(self):
+        rng = np.random.default_rng(7)
+        block = rng.normal(size=(12, 1024))
+        trials = tuple(np.linspace(0.0, 60.0, 12).tolist())
+        assert search_dm_block(block, trials, 1e-3, snr_threshold=3.0) == \
+            search_dm_block_reference(block, trials, 1e-3, snr_threshold=3.0)
+
+    def test_matches_reference_truncated_ladder(self):
+        """Harmonic depths exceeding the spectrum length are skipped in
+        both paths."""
+        rng = np.random.default_rng(8)
+        block = rng.normal(size=(4, 64))
+        trials = (0.0, 10.0, 20.0, 30.0)
+        kwargs = dict(
+            snr_threshold=2.5, harmonics=(1, 2, 4, 8, 16, 64), min_freq_hz=0.0
+        )
+        assert search_dm_block(block, trials, 1e-2, **kwargs) == \
+            search_dm_block_reference(block, trials, 1e-2, **kwargs)
+
+    def test_matches_reference_odd_ladder(self):
+        rng = np.random.default_rng(9)
+        block = rng.normal(size=(3, 256))
+        trials = (0.0, 5.0, 15.0)
+        kwargs = dict(snr_threshold=3.0, harmonics=(1, 3, 5))
+        assert search_dm_block(block, trials, 1e-3, **kwargs) == \
+            search_dm_block_reference(block, trials, 1e-3, **kwargs)
+
+    def test_rejects_mismatched_rows(self):
+        with pytest.raises(SearchError):
+            search_dm_block(np.zeros((2, 64)), (0.0,), 1e-3)
+
+
+class TestBatchedFolding:
+    def test_fold_many_matches_fold_loop(self):
+        rng = np.random.default_rng(10)
+        series = rng.normal(size=4096)
+        tsamp = 1e-3
+        # Includes periods short enough to trigger the n_bins shrink.
+        periods = [0.25, 0.0931, 0.031, 0.003, 0.002]
+        batched = fold_many(series, tsamp, periods, n_bins=32)
+        for period, profile in zip(periods, batched):
+            single = fold(series, tsamp, period, n_bins=32)
+            assert profile.period_s == single.period_s
+            assert profile.sample_std == single.sample_std
+            assert np.array_equal(profile.profile, single.profile)
+            assert np.array_equal(profile.hits, single.hits)
+
+    def test_refine_period_matches_reference(self):
+        rng = np.random.default_rng(11)
+        period = 0.05
+        times = np.arange(4096) * 1e-3
+        series = rng.normal(size=4096) + 2.0 * (
+            np.mod(times, period) < 0.1 * period
+        )
+        assert refine_period(series, 1e-3, period) == \
+            refine_period_reference(series, 1e-3, period)
+
+    def test_fold_many_rejects_bad_periods(self):
+        with pytest.raises(SearchError):
+            fold_many(np.zeros(128), 1e-3, [0.05, -0.1])
+        with pytest.raises(SearchError):
+            fold_many(np.zeros(8), 1e-3, [0.05], n_bins=32)

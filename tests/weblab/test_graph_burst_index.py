@@ -223,6 +223,50 @@ class TestTextIndex:
         index = build_index([("u1", "alpha beta")])
         assert index.search("gamma") == []
 
+    def test_remove_leaves_shared_terms_intact(self):
+        index = build_index(
+            [("u1", "pulsar survey"), ("u2", "pulsar archive")]
+        )
+        index.remove("u1")
+        assert index.document_frequency("pulsar") == 1
+        assert index.document_frequency("survey") == 0
+        assert index.search("pulsar")[0].url == "u2"
+
+    def test_add_many_matches_incremental_adds(self):
+        documents = [
+            ("u1", "pulsar telescope survey"),
+            ("u2", "pulsar data only"),
+            ("u2", "replacement pulsar text"),  # later duplicate wins
+            ("u3", "telescope optics"),
+        ]
+        batched = TextIndex()
+        batched.add_many(documents)
+        incremental = TextIndex()
+        for url, text in documents:
+            incremental.add(url, text)
+        assert batched._postings == incremental._postings
+        assert batched._doc_lengths == incremental._doc_lengths
+        assert len(batched) == 3
+        assert batched.search("replacement")[0].url == "u2"
+
+    def test_add_many_replaces_existing_documents(self):
+        index = TextIndex()
+        index.add("u1", "ancient words")
+        index.add_many([("u1", "modern words"), ("u2", "other page")])
+        assert index.search("ancient") == []
+        assert index.search("modern")[0].url == "u1"
+        assert len(index) == 2
+
+    def test_snapshot_documents_feed_bulk_build(self):
+        from repro.weblab.synthweb import SyntheticWeb, SyntheticWebConfig
+
+        web = SyntheticWeb(SyntheticWebConfig(seed=5))
+        snapshot = web.generate_crawls(2)[-1]
+        documents = snapshot.documents()
+        assert documents == [(page.url, page.content) for page in snapshot.pages]
+        index = build_index(documents)
+        assert len(index) == snapshot.page_count
+
     def test_index_over_built_weblab(self, built_weblab):
         weblab, _, _ = built_weblab
         last = weblab.database.crawl_indexes()[-1]
