@@ -33,6 +33,8 @@ from repro.arecibo.telescope import ObservationConfig, ObservationSimulator
 from repro.core.dataflow import DataFlow
 from repro.core.dataset import Dataset
 from repro.core.engine import Engine, FlowReport
+from repro.core.faults import FaultInjector, FaultPlan, FaultRecord
+from repro.core.recovery import RetryPolicy
 from repro.core.stagecache import StageCache
 from repro.core.telemetry import write_event_log
 from repro.core.units import DataSize, Duration
@@ -111,6 +113,9 @@ class AreciboPipelineReport:
     meta_report: MetaAnalysisReport
     score: DetectionScore
     confirmed: List[dict]
+    #: Beams dropped by injected ``"beam"``-scope faults, as
+    #: ``(pointing_id, beam)`` pairs — the survey's recorded culls.
+    beam_culls: List[Tuple[int, int]] = field(default_factory=list)
 
     @property
     def products_fraction(self) -> float:
@@ -137,6 +142,8 @@ def run_arecibo_pipeline(
     workdir: Union[str, Path],
     config: Optional[AreciboPipelineConfig] = None,
     cache: Optional[StageCache] = None,
+    faults: Optional[Union[FaultPlan, FaultInjector]] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> AreciboPipelineReport:
     """Run Figure 1 into ``workdir``; returns the full report.
 
@@ -145,16 +152,43 @@ def run_arecibo_pipeline(
     (outputs, stashes, CPU charges) replay from the cache, the FlowReport
     and telemetry come out accounting-identical, and the candidate DB is
     rebuilt from cached stashes; only staging files are skipped.
+
+    ``faults`` aims one :class:`~repro.core.faults.FaultPlan` (or an
+    already-armed injector, the resume idiom) at every injection site the
+    flow owns: engine stage attempts (scope ``"stage"``, targets
+    ``"arecibo-figure1/<stage>"``), the shipping lane (scope ``"lane"``),
+    the tape robot (scope ``"storage"``, targets ``"ctc-robot/*"``), and
+    per-beam culls (scope ``"beam"``, targets
+    ``"arecibo-figure1/p<id>/b<beam>"``, kind ``"drop"`` — the survey
+    drops the beam and records the cull).  ``retry`` is the engine-wide
+    :class:`~repro.core.recovery.RetryPolicy` for crashed stage attempts.
     """
     config = config if config is not None else AreciboPipelineConfig()
     workdir = Path(workdir)
     staging = workdir / "arecibo-staging"
     staging.mkdir(parents=True, exist_ok=True)
 
+    # The engine arms a FaultPlan against its own simulated clock; the
+    # resulting injector is shared with the lane/library/beam shims so
+    # one plan covers every injection site (and `after_sim_time`
+    # predicates see the run's clock).  Passing an already-armed
+    # FaultInjector instead is the crash/resume idiom: exhausted fire
+    # budgets carry over, so transient faults do not restrike the rerun.
+    engine = Engine(
+        seed=config.seed,
+        max_workers=config.workers,
+        cache=cache,
+        retry=retry,
+        faults=faults,
+    )
+    injector: Optional[FaultInjector] = engine.faults
+
     simulator = ObservationSimulator(config.observation)
     pointings = config.sky.generate_pointings(config.n_pointings)
-    lane = ShippingLane(ARECIBO_TO_CTC, rng=random.Random(config.seed))
-    library = RoboticTapeLibrary("ctc-robot", LTO3_TAPE)
+    lane = ShippingLane(
+        ARECIBO_TO_CTC, rng=random.Random(config.seed), faults=injector
+    )
+    library = RoboticTapeLibrary("ctc-robot", LTO3_TAPE, faults=injector)
     database = CandidateDatabase(workdir / "candidates.db")
 
     db_loaded = {"done": False}
@@ -221,7 +255,9 @@ def run_arecibo_pipeline(
         Self-contained and deterministic: the RNG is derived from the run
         seed and the pointing id, never shared across pointings, so the
         per-pointing results are identical whether pointings run serially
-        or fanned out across a thread pool.
+        or fanned out across a thread pool.  Beam-scope fault checks are
+        keyed per ``(pointing, beam)`` target, so the injector's decisions
+        are thread-order independent too.
         """
         rng = np.random.default_rng((config.seed + 1, pointing.pointing_id))
         presift = 0
@@ -229,7 +265,28 @@ def run_arecibo_pipeline(
         per_beam_sifted: List[List] = []
         per_beam_transients: List[Tuple[int, List[SinglePulseEvent]]] = []
         grid: Optional[DMGrid] = None
+        culls: List[Tuple[int, int]] = []
+        fault_records: List[FaultRecord] = []
         for filterbank in observations[pointing.pointing_id]:
+            if injector is not None:
+                records = injector.fire(
+                    "beam",
+                    f"arecibo-figure1/p{pointing.pointing_id:04d}"
+                    f"/b{filterbank.beam}",
+                    site="CTC/PALFA",
+                )
+                fault_records.extend(records)
+                if any(record.kind == "drop" for record in records):
+                    # Graceful degradation, the survey's real procedure: a
+                    # beam whose data are unusable (bad disk, bad tape) is
+                    # culled from the pointing and recorded; the other six
+                    # beams still get searched.  The culled beam keeps its
+                    # slot in the multibeam grid as an empty candidate
+                    # list — it can neither detect nor veto.
+                    culls.append((pointing.pointing_id, filterbank.beam))
+                    per_beam_sifted.append([])
+                    per_beam_transients.append((filterbank.beam, []))
+                    continue
             cleaned, _ = clean_filterbank(filterbank, rng=rng)
             if grid is None:
                 grid = DMGrid.matched(cleaned, config.dm_max)
@@ -308,7 +365,14 @@ def run_arecibo_pipeline(
                     transient_survivors.append(
                         (pointing.pointing_id, beam, event)
                     )
-        return presift, dedispersed_total, multibeam, transient_survivors
+        return (
+            presift,
+            dedispersed_total,
+            multibeam,
+            transient_survivors,
+            culls,
+            fault_records,
+        )
 
     def process(inputs, ctx):
         """Per-beam excision, dedispersion, Fourier search; multibeam cull.
@@ -333,17 +397,31 @@ def run_arecibo_pipeline(
         all_sifted: List[SiftedCandidate] = []
         rejected = 0
         transient_survivors: List[Tuple[int, int, SinglePulseEvent]] = []
-        for pointing_presift, pointing_dedisp, multibeam, survivors in pointing_results:
+        beam_culls: List[Tuple[int, int]] = []
+        for (
+            pointing_presift,
+            pointing_dedisp,
+            multibeam,
+            survivors,
+            culls,
+            fault_records,
+        ) in pointing_results:
             presift += pointing_presift
             dedispersed_total += pointing_dedisp
             rejected += multibeam.rejection_count
             all_sifted.extend(multibeam.accepted)
             transient_survivors.extend(survivors)
+            beam_culls.extend(culls)
+            # Beam faults fired on worker threads; folding them into the
+            # stage accounting here, in pointing order, keeps the replayed
+            # telemetry stream identical for any worker count.
+            ctx.record_faults(fault_records)
         ctx.stash["presift"] = presift
         ctx.stash["sifted"] = all_sifted
         ctx.stash["dedispersed"] = dedispersed_total
         ctx.stash["multibeam_rejected"] = rejected
         ctx.stash["transients"] = transient_survivors
+        ctx.stash["beam_culls"] = beam_culls
         # Candidate volume: one compact record per sifted candidate.
         return Dataset(
             "candidates",
@@ -446,9 +524,7 @@ def run_arecibo_pipeline(
     flow.chain("acquire", "ship", "archive", "process", "consolidate",
                "meta-analysis")
 
-    flow_report = Engine(
-        seed=config.seed, max_workers=config.workers, cache=cache
-    ).run(flow)
+    flow_report = engine.run(flow)
     write_event_log(workdir / "telemetry.jsonl", flow_report.events)
     stashes = flow_report.stashes
     # A fully-warm run skips every stage, leaving this run's candidates.db
@@ -536,6 +612,7 @@ def run_arecibo_pipeline(
         meta_report=stashes["meta-analysis"]["meta"],  # type: ignore[arg-type]
         score=score,
         confirmed=confirmed,
+        beam_culls=list(stashes["process"].get("beam_culls", [])),  # type: ignore[union-attr]
     )
     database.close()
     return report

@@ -22,6 +22,8 @@ from repro.cleo.reconstruction import Reconstructor
 from repro.core.dataflow import DataFlow
 from repro.core.dataset import Dataset
 from repro.core.engine import Engine, FlowReport
+from repro.core.faults import FaultInjector, FaultPlan
+from repro.core.recovery import RetryPolicy
 from repro.core.stagecache import StageCache
 from repro.core.telemetry import write_event_log
 from repro.core.units import DataSize
@@ -107,6 +109,8 @@ def run_cleo_pipeline(
     workdir: Union[str, Path],
     config: Optional[CleoPipelineConfig] = None,
     cache: Optional[StageCache] = None,
+    faults: Optional[Union[FaultPlan, FaultInjector]] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> CleoPipelineReport:
     """Run the whole Figure-2 flow into ``workdir``; returns the report.
 
@@ -116,6 +120,13 @@ def run_cleo_pipeline(
     injected into the store, so a later cache *miss* downstream of a hit
     lazily re-injects exactly the products its ancestors would have
     written.
+
+    ``faults`` aims a :class:`~repro.core.faults.FaultPlan` (or an
+    already-armed injector, the resume idiom) at the engine's stage
+    attempts (scope ``"stage"``, targets ``"cleo-figure2/<stage>"``).
+    Engine crash faults strike *before* a transform runs, so a retried
+    attempt never sees a half-injected EventStore.  ``retry`` is the
+    engine-wide :class:`~repro.core.recovery.RetryPolicy`.
     """
     config = config if config is not None else CleoPipelineConfig()
     workdir = Path(workdir)
@@ -289,7 +300,11 @@ def run_cleo_pipeline(
     flow.connect("monte-carlo", "physics-analysis", label="simulation")
 
     flow_report = Engine(
-        seed=config.seed, max_workers=config.workers, cache=cache
+        seed=config.seed,
+        max_workers=config.workers,
+        cache=cache,
+        retry=retry,
+        faults=faults,
     ).run(flow)
     write_event_log(workdir / "telemetry.jsonl", flow_report.events)
     stashes = flow_report.stashes

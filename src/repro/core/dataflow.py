@@ -19,6 +19,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set
 
 from repro.core.dataset import Dataset
 from repro.core.errors import DataflowError
+from repro.core.recovery import RetryPolicy
 
 # A stage transform receives {upstream stage name: dataset} and a context
 # object supplied by the engine, and returns its output dataset.
@@ -49,6 +50,10 @@ class Stage:
         Folded into the stage-cache key: a stage whose ``cache_params``
         differ never reuses a cached result.  ``None`` disables nothing —
         it simply contributes an empty parameter set to the key.
+    retry:
+        Per-stage :class:`~repro.core.recovery.RetryPolicy` override.
+        ``None`` falls back to the engine's run-wide policy (which
+        defaults to no retry).
     """
 
     name: str
@@ -57,6 +62,7 @@ class Stage:
     cpu_seconds_per_gb: float = 0.0
     description: str = ""
     cache_params: Optional[Mapping[str, object]] = None
+    retry: Optional[RetryPolicy] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -108,6 +114,7 @@ class DataFlow:
         cpu_seconds_per_gb: float = 0.0,
         description: str = "",
         cache_params: Optional[Mapping[str, object]] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> Stage:
         """Convenience: build and add a stage in one call."""
         return self.add_stage(
@@ -118,6 +125,7 @@ class DataFlow:
                 cpu_seconds_per_gb=cpu_seconds_per_gb,
                 description=description,
                 cache_params=cache_params,
+                retry=retry,
             )
         )
 

@@ -45,6 +45,22 @@ stash, then commits provenance and replays accounting exactly as if the
 stage had run, so cached and uncached runs produce identical reports and
 event logs.  Because the same byte-identical contract holds across worker
 counts, a cache primed by a sequential run services a parallel rerun.
+
+Failure handling rides the same determinism contract.  An armed
+:class:`~repro.core.faults.FaultInjector` is consulted before every stage
+attempt (``"crash"`` faults abort the attempt, ``"delay"`` faults charge
+simulated stall); a :class:`~repro.core.recovery.RetryPolicy` — engine
+default or per-stage override — bounds re-attempts with exponential
+backoff charged to the simulated clock.  Exhausted retries produce a
+:class:`~repro.core.recovery.DeadLetter` and either invoke the policy's
+graceful-degradation fallback or abort the run.  All of it is recorded in
+the per-stage result and *replayed* in topological order (``fault.injected``,
+``stage.retry``, ``stage.degraded``, ``stage.dead_letter`` events), so
+fault-injected runs are as replayable as clean ones.  The active fault
+plan's digest salts every stage-cache key: results computed under
+injection never service a clean run, and a crashed run's completed prefix
+(already committed to the cache) replays byte-identically when the flow
+is resumed — see :func:`repro.core.recovery.run_to_completion`.
 """
 
 from __future__ import annotations
@@ -53,16 +69,19 @@ import hashlib
 import random
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.core.dataflow import DataFlow, Stage
 from repro.core.dataset import Dataset
-from repro.core.errors import ExecutionError, ProvenanceError
+from repro.core.errors import ExecutionError, InjectedFault, ProvenanceError
+from repro.core.faults import FaultInjector, FaultPlan, FaultRecord, delay_seconds
 from repro.core.provenance import ProcessingStep, ProvenanceStore
+from repro.core.recovery import NO_RETRY, DeadLetter, RetryPolicy
 from repro.core.stagecache import CachedStage, StageCache, stage_key
 from repro.core.telemetry import (
     Telemetry,
     TelemetryEvent,
+    availability_from_log,
     peak_storage_from_log,
     stage_rows_from_log,
 )
@@ -101,6 +120,12 @@ class StageReport:
     output_size: DataSize
     cpu_time: Duration
     provenance_id: str
+    #: Availability columns: how many attempts the stage took, the
+    #: simulated backoff charged between them, and whether the output
+    #: came from a graceful-degradation fallback.
+    attempts: int = 1
+    retry_wait: Duration = field(default_factory=Duration.zero)
+    degraded: bool = False
 
     @property
     def reduction_factor(self) -> float:
@@ -164,6 +189,15 @@ class FlowReport:
             return float("inf")
         return self.total_cpu_time.seconds / realtime.seconds
 
+    @property
+    def total_retry_wait(self) -> Duration:
+        """Simulated backoff charged across all stages (retry overhead)."""
+        return Duration(sum(stage.retry_wait.seconds for stage in self.stages))
+
+    @property
+    def total_attempts(self) -> int:
+        return sum(stage.attempts for stage in self.stages)
+
     def summary_rows(self) -> List[Dict[str, object]]:
         """Tabular stage summary (used by benchmarks and EXPERIMENTS.md)."""
         return [
@@ -173,9 +207,16 @@ class FlowReport:
                 "in": str(report.input_size),
                 "out": str(report.output_size),
                 "cpu": str(report.cpu_time),
+                "attempts": report.attempts,
+                "wait": str(report.retry_wait),
+                "degraded": report.degraded,
             }
             for report in self.stages
         ]
+
+    def availability(self) -> Dict[str, object]:
+        """Flow availability accounting, regenerated from this run's log."""
+        return availability_from_log(self.events)
 
 
 class StageContext:
@@ -188,11 +229,16 @@ class StageContext:
         provenance: ProvenanceStore,
         rng: random.Random,
         stashes: Optional[Mapping[str, Mapping[str, object]]] = None,
+        faults: Optional[FaultInjector] = None,
     ):
         self.stage = stage
         self.engine = engine
         self.provenance = provenance
         self.rng = rng
+        #: The run's armed fault injector, or None.  Transforms use
+        #: :meth:`fault_fires` for fine-grained degradation decisions
+        #: (drop a beam, serve stale data) below stage granularity.
+        self.faults = faults
         #: Out-of-band results this stage publishes for ancestors-agnostic
         #: consumers: downstream stages (via :meth:`dep_stash`), the final
         #: FlowReport (``report.stashes``), and the stage cache.  Treat the
@@ -200,10 +246,36 @@ class StageContext:
         self.stash: Dict[str, object] = {}
         self._stashes = stashes if stashes is not None else {}
         self._extra_cpu_seconds = 0.0
+        self._fault_records: List[FaultRecord] = []
 
     def charge_cpu(self, duration: Duration) -> None:
         """Let a stage report extra simulated CPU work beyond the size model."""
         self._extra_cpu_seconds += duration.seconds
+
+    def fault_fires(self, scope: str, target: str, site: str = "") -> List[FaultRecord]:
+        """Evaluate an in-transform injection point; record what fired.
+
+        Returns the fired records (empty when no injector is armed) and
+        folds them into the stage's accounting so they replay in the
+        telemetry stream.  Transforms that fan work out across threads
+        must call this in a deterministic order (e.g. merge per-item
+        results in item order and record then) — see
+        :meth:`record_faults`.
+        """
+        if self.faults is None:
+            return []
+        records = self.faults.fire(scope, target, site)
+        self._fault_records.extend(records)
+        return records
+
+    def record_faults(self, records: List[FaultRecord]) -> None:
+        """Fold already-fired records into this stage's accounting.
+
+        For transforms that evaluate injection points on worker threads:
+        fire via ``ctx.faults.fire(...)`` inside the worker, then record
+        the results here in deterministic (input) order.
+        """
+        self._fault_records.extend(records)
 
     def dep_stash(self, stage_name: str) -> Mapping[str, object]:
         """The stash a completed ancestor stage published.
@@ -233,6 +305,13 @@ class _StageResult:
     extra_cpu_seconds: float
     stash: Dict[str, object] = field(default_factory=dict)
     from_cache: bool = False
+    # Availability accounting, replayed into the telemetry stream in
+    # topological order so parallel runs log identically to sequential.
+    attempts: int = 1
+    retry_wait_seconds: float = 0.0
+    faults: List[FaultRecord] = field(default_factory=list)
+    degraded: bool = False
+    dead_letter: Optional[DeadLetter] = None
 
 
 class Engine:
@@ -262,6 +341,16 @@ class Engine:
         stash) and skip the transform entirely, while provenance,
         accounting, and telemetry replay identically to a real execution.
         Share one cache across engines to make whole reruns warm.
+    retry:
+        Run-wide default :class:`~repro.core.recovery.RetryPolicy`;
+        per-stage ``Stage.retry`` overrides it.  ``None`` means no
+        retry: a stage failure aborts the run on the first attempt.
+    faults:
+        A :class:`~repro.core.faults.FaultPlan` (armed privately) or an
+        already-armed :class:`~repro.core.faults.FaultInjector` (shared —
+        the resume idiom, and how pipelines aim one plan at their
+        storage/transport shims too).  The plan digest salts every
+        stage-cache key.
     """
 
     def __init__(
@@ -271,12 +360,22 @@ class Engine:
         max_workers: int = 1,
         telemetry: Optional[Telemetry] = None,
         cache: Optional[StageCache] = None,
+        retry: Optional[RetryPolicy] = None,
+        faults: Optional[Union[FaultPlan, FaultInjector]] = None,
     ):
         if max_workers < 1:
             raise ExecutionError("engine", f"max_workers must be >= 1, got {max_workers}")
         self.provenance = provenance if provenance is not None else ProvenanceStore()
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.cache = cache
+        self.retry = retry if retry is not None else NO_RETRY
+        if isinstance(faults, FaultPlan):
+            faults = faults.arm(clock=self.telemetry.clock)
+        self.faults: Optional[FaultInjector] = faults
+        #: Dead letters this engine produced: degraded stages append
+        #: during the accounting replay (deterministic order); fatal
+        #: exhaustions append as the run aborts.
+        self.dead_letters: List[DeadLetter] = []
         self._seed = seed
         self._max_workers = int(max_workers)
 
@@ -340,6 +439,43 @@ class Engine:
             stage_inputs = {"input": seeds[name]}
         return stage_inputs
 
+    def _attempt_stage(
+        self,
+        flow: DataFlow,
+        name: str,
+        stage_inputs: Mapping[str, Dataset],
+        stashes: Mapping[str, Mapping[str, object]],
+        faults: List[FaultRecord],
+    ) -> Tuple[Dataset, StageContext]:
+        """One attempt: consult the injector, then run the transform.
+
+        Injected faults fire *before* the transform executes (a scheduler
+        or environment failure, not a mid-write one), so a failed attempt
+        leaves no partial side effects behind for the retry to trip over.
+        ``"delay"`` faults are recorded and charged by the caller.
+        """
+        stage = flow.stages[name]
+        rng = random.Random(_stage_seed(self._seed, name))
+        context = StageContext(
+            stage, self, self.provenance, rng, stashes, faults=self.faults
+        )
+        if self.faults is not None:
+            try:
+                faults.extend(
+                    self.faults.check("stage", f"{flow.name}/{name}", stage.site)
+                )
+            except InjectedFault as exc:
+                if exc.record is not None:
+                    faults.append(exc.record)
+                raise
+        output = stage.fn(stage_inputs, context)
+        faults.extend(context._fault_records)
+        if not isinstance(output, Dataset):
+            raise ExecutionError(
+                name, f"stage returned {type(output).__name__}, expected Dataset"
+            )
+        return output, context
+
     def _run_stage(
         self,
         flow: DataFlow,
@@ -347,24 +483,91 @@ class Engine:
         stage_inputs: Mapping[str, Dataset],
         stashes: Mapping[str, Mapping[str, object]],
     ) -> _StageResult:
+        """Run one stage under its retry policy; account every attempt.
+
+        Each attempt gets a fresh context and the *same* per-stage RNG
+        seed, so the attempt that finally succeeds is byte-identical to
+        a first-try success.  Backoff accumulates into the result as
+        simulated stall, replayed onto the clock during accounting.
+        """
         stage = flow.stages[name]
-        rng = random.Random(_stage_seed(self._seed, name))
-        context = StageContext(stage, self, self.provenance, rng, stashes)
-        try:
-            output = stage.fn(stage_inputs, context)
-        except ExecutionError:
-            raise
-        except Exception as exc:  # noqa: BLE001 - wrap with stage identity
-            raise ExecutionError(name, str(exc)) from exc
-        if not isinstance(output, Dataset):
-            raise ExecutionError(
-                name, f"stage returned {type(output).__name__}, expected Dataset"
+        policy = stage.retry if stage.retry is not None else self.retry
+        faults: List[FaultRecord] = []
+        wait_seconds = 0.0
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                output, context = self._attempt_stage(
+                    flow, name, stage_inputs, stashes, faults
+                )
+            except Exception as exc:  # noqa: BLE001 - classified below
+                error = exc
+            else:
+                wait_seconds += delay_seconds(faults)
+                return _StageResult(
+                    output=output,
+                    extra_cpu_seconds=context.extra_cpu.seconds,
+                    stash=context.stash,
+                    attempts=attempt,
+                    retry_wait_seconds=wait_seconds,
+                    faults=faults,
+                )
+            if attempt < policy.max_attempts:
+                wait_seconds += policy.delay_for(attempt)
+                continue
+            # Retries exhausted: dead-letter, then degrade or abort.
+            letter = DeadLetter(
+                flow=flow.name,
+                stage=name,
+                site=stage.site,
+                attempts=attempt,
+                error=str(error),
+                retry_wait_s=wait_seconds,
+                degraded=policy.fallback is not None,
             )
-        return _StageResult(
-            output=output,
-            extra_cpu_seconds=context.extra_cpu.seconds,
-            stash=context.stash,
-        )
+            if policy.fallback is None:
+                self.dead_letters.append(letter)
+                if isinstance(error, ExecutionError):
+                    raise error
+                if attempt == 1:
+                    raise ExecutionError(name, str(error)) from error
+                raise ExecutionError(
+                    name, f"{error} (after {attempt} attempts)"
+                ) from error
+            fallback_context = StageContext(
+                stage,
+                self,
+                self.provenance,
+                random.Random(_stage_seed(self._seed, name)),
+                stashes,
+                faults=self.faults,
+            )
+            try:
+                output = policy.fallback(stage_inputs, fallback_context, error)
+            except Exception as exc:  # noqa: BLE001 - wrap with stage identity
+                self.dead_letters.append(letter)
+                raise ExecutionError(
+                    name, f"fallback failed after {attempt} attempts: {exc}"
+                ) from exc
+            if not isinstance(output, Dataset):
+                self.dead_letters.append(letter)
+                raise ExecutionError(
+                    name,
+                    f"fallback returned {type(output).__name__}, expected Dataset",
+                )
+            faults.extend(fallback_context._fault_records)
+            wait_seconds += delay_seconds(faults)
+            return _StageResult(
+                output=output,
+                extra_cpu_seconds=fallback_context.extra_cpu.seconds,
+                stash=fallback_context.stash,
+                attempts=attempt,
+                retry_wait_seconds=wait_seconds,
+                faults=faults,
+                degraded=True,
+                dead_letter=letter,
+            )
 
     # -- stage cache -------------------------------------------------------
     def _cache_descriptor(self, slot: str, dataset: Dataset) -> str:
@@ -402,6 +605,7 @@ class Engine:
                 for slot, dataset in stage_inputs.items()
             ],
             cache_params=stage.cache_params,
+            fault_digest=self.faults.digest if self.faults is not None else "",
         )
 
     def _cache_lookup(
@@ -428,6 +632,15 @@ class Engine:
             extra_cpu_seconds=entry.extra_cpu_seconds,
             stash=dict(entry.stash),
             from_cache=True,
+            attempts=entry.attempts,
+            retry_wait_seconds=entry.retry_wait_seconds,
+            faults=[FaultRecord.from_attrs(dict(attrs)) for attrs in entry.fault_attrs],
+            degraded=entry.degraded,
+            dead_letter=(
+                DeadLetter(**entry.dead_letter_attrs)  # type: ignore[arg-type]
+                if entry.dead_letter_attrs is not None
+                else None
+            ),
         )
 
     def _cache_store(self, key: Optional[str], result: _StageResult) -> None:
@@ -436,7 +649,18 @@ class Engine:
         self.cache.store(
             key,
             CachedStage.capture(
-                result.output, result.extra_cpu_seconds, result.stash
+                result.output,
+                result.extra_cpu_seconds,
+                result.stash,
+                attempts=result.attempts,
+                retry_wait_seconds=result.retry_wait_seconds,
+                degraded=result.degraded,
+                fault_attrs=[record.as_attrs() for record in result.faults],
+                dead_letter_attrs=(
+                    result.dead_letter.as_attrs()
+                    if result.dead_letter is not None
+                    else None
+                ),
             ),
         )
 
@@ -622,6 +846,27 @@ class Engine:
                         site=stage.site,
                         input_bytes=input_size.bytes,
                     )
+                    for record in result.faults:
+                        # ``kind`` is the event kind's parameter name, so
+                        # the fault's own kind travels as ``fault_kind``.
+                        fault_attrs = record.as_attrs()
+                        fault_attrs["fault_kind"] = fault_attrs.pop("kind")
+                        telemetry.emit("fault.injected", name, **fault_attrs)
+                        metrics.counter("engine.faults_injected").inc()
+                    if result.attempts > 1:
+                        telemetry.emit(
+                            "stage.retry",
+                            name,
+                            site=stage.site,
+                            attempts=result.attempts,
+                            retries=result.attempts - 1,
+                            retry_wait_s=result.retry_wait_seconds,
+                        )
+                        metrics.counter("engine.retries").inc(result.attempts - 1)
+                    if result.retry_wait_seconds:
+                        # Backoff and injected delays are simulated stall:
+                        # they advance the clock without charging CPU.
+                        telemetry.clock.advance(result.retry_wait_seconds)
                     telemetry.clock.advance(cpu_seconds)
                     live_bytes += result.output.size.bytes
                     peak_bytes = max(peak_bytes, live_bytes)
@@ -644,6 +889,27 @@ class Engine:
                         artifact=result.output.name,
                         parents=[reserved[pred] for pred in flow.predecessors(name)],
                     )
+                    if result.degraded:
+                        letter = result.dead_letter
+                        if letter is None:
+                            letter = DeadLetter(
+                                flow=flow.name,
+                                stage=name,
+                                site=stage.site,
+                                attempts=result.attempts,
+                                error="(degraded result replayed from cache)",
+                                retry_wait_s=result.retry_wait_seconds,
+                                degraded=True,
+                            )
+                        self.dead_letters.append(letter)
+                        metrics.counter("engine.dead_letters").inc()
+                        telemetry.emit(
+                            "stage.degraded", name, site=stage.site,
+                            attempts=result.attempts,
+                        )
+                        telemetry.emit(
+                            "stage.dead_letter", name, **letter.as_attrs()
+                        )
                     telemetry.emit(
                         "stage.finish",
                         name,
@@ -653,6 +919,9 @@ class Engine:
                         cpu_seconds=cpu_seconds,
                         provenance_id=reserved[name],
                         live_bytes=live_bytes,
+                        attempts=result.attempts,
+                        retry_wait_s=result.retry_wait_seconds,
+                        degraded=result.degraded,
                     )
                 metrics.counter("engine.stages").inc()
                 metrics.counter("engine.bytes_produced").inc(result.output.size.bytes)
@@ -685,6 +954,9 @@ class Engine:
                     output_size=DataSize(float(row["output_bytes"])),
                     cpu_time=Duration(float(row["cpu_seconds"])),
                     provenance_id=str(row["provenance_id"]),
+                    attempts=int(row["attempts"]),  # type: ignore[arg-type]
+                    retry_wait=Duration(float(row["retry_wait_s"])),  # type: ignore[arg-type]
+                    degraded=bool(row["degraded"]),
                 )
             )
         report.outputs = {name: results[name].output for name in flow.sinks()}
@@ -706,6 +978,8 @@ class ParallelEngine(Engine):
         max_workers: int = 4,
         telemetry: Optional[Telemetry] = None,
         cache: Optional[StageCache] = None,
+        retry: Optional[RetryPolicy] = None,
+        faults: Optional[Union[FaultPlan, FaultInjector]] = None,
     ):
         super().__init__(
             provenance=provenance,
@@ -713,4 +987,6 @@ class ParallelEngine(Engine):
             max_workers=max_workers,
             telemetry=telemetry,
             cache=cache,
+            retry=retry,
+            faults=faults,
         )

@@ -60,6 +60,27 @@ class CacheError(ReproError):
     """Stage-result cache misuse (bad capacity, malformed entry, ...)."""
 
 
+class FaultError(ReproError):
+    """Fault-plan or retry-policy misuse (bad spec, invalid bounds, ...)."""
+
+
+class InjectedFault(ReproError):
+    """A deliberately injected failure fired at an injection site.
+
+    Raised by fault-injector shims (engine stage attempts, storage and
+    transport operations) when a ``"crash"`` fault fires.  Carries the
+    spec name, the scope/target it struck, and the full
+    :class:`~repro.core.faults.FaultRecord` for accounting.
+    """
+
+    def __init__(self, spec: str, scope: str, target: str, record: object = None):
+        super().__init__(f"injected fault {spec!r} at {scope}:{target}")
+        self.spec = spec
+        self.scope = scope
+        self.target = target
+        self.record = record
+
+
 class TransportError(ReproError):
     """Transfer planning or execution failure."""
 

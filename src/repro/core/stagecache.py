@@ -51,13 +51,18 @@ def stage_key(
     stage_seed: int,
     input_descriptors: Sequence[str],
     cache_params: Optional[Mapping[str, object]] = None,
+    fault_digest: str = "",
 ) -> str:
     """Content address of one stage execution.
 
     Deterministic across processes: every component is rendered to a
     canonical JSON document and hashed with SHA-256.  Input descriptors
     are sorted, matching how the engine freezes them into provenance
-    records.
+    records.  ``fault_digest`` is the active
+    :class:`~repro.core.faults.FaultPlan` digest (empty when no faults
+    are armed): results computed under injection are keyed apart from
+    clean results, so a faulted run can never poison — nor be serviced
+    from — a warm fault-free cache.
     """
     payload = {
         "flow": flow_name,
@@ -67,6 +72,7 @@ def stage_key(
         "seed": int(stage_seed),
         "inputs": sorted(str(descriptor) for descriptor in input_descriptors),
         "params": {str(k): str(v) for k, v in (cache_params or {}).items()},
+        "faults": str(fault_digest),
     }
     blob = json.dumps(payload, sort_keys=True).encode("utf-8")
     return hashlib.sha256(blob).hexdigest()
@@ -83,6 +89,14 @@ class CachedStage:
     output_attrs: Mapping[str, object] = field(default_factory=dict)
     extra_cpu_seconds: float = 0.0
     stash: Mapping[str, object] = field(default_factory=dict)
+    # Availability accounting: a hit must replay the recorded retries,
+    # injected faults, and degradation flags exactly, or a resumed run's
+    # prefix would diverge from the uninterrupted run's event log.
+    attempts: int = 1
+    retry_wait_seconds: float = 0.0
+    degraded: bool = False
+    fault_attrs: tuple = ()
+    dead_letter_attrs: Optional[Mapping[str, object]] = None
 
     @classmethod
     def capture(
@@ -90,6 +104,11 @@ class CachedStage:
         output: Dataset,
         extra_cpu_seconds: float,
         stash: Mapping[str, object],
+        attempts: int = 1,
+        retry_wait_seconds: float = 0.0,
+        degraded: bool = False,
+        fault_attrs: Sequence[Mapping[str, object]] = (),
+        dead_letter_attrs: Optional[Mapping[str, object]] = None,
     ) -> "CachedStage":
         """Snapshot a completed stage's result.
 
@@ -106,6 +125,13 @@ class CachedStage:
             output_attrs=dict(output.attrs),
             extra_cpu_seconds=float(extra_cpu_seconds),
             stash=dict(stash),
+            attempts=int(attempts),
+            retry_wait_seconds=float(retry_wait_seconds),
+            degraded=bool(degraded),
+            fault_attrs=tuple(dict(attrs) for attrs in fault_attrs),
+            dead_letter_attrs=(
+                dict(dead_letter_attrs) if dead_letter_attrs is not None else None
+            ),
         )
 
     def rebuild_output(self) -> Dataset:

@@ -71,6 +71,10 @@ EVENT_KINDS = frozenset(
         "span.finish",
         "service.call",
         "integrity.verify",
+        "fault.injected",
+        "stage.retry",
+        "stage.degraded",
+        "stage.dead_letter",
     }
 )
 
@@ -498,6 +502,11 @@ def stage_rows_from_log(
                 "output_bytes": float(event.attr("output_bytes", 0.0)),  # type: ignore[arg-type]
                 "cpu_seconds": float(event.attr("cpu_seconds", 0.0)),  # type: ignore[arg-type]
                 "provenance_id": event.attr("provenance_id"),
+                # Availability columns (absent from pre-fault logs, so
+                # default to a clean single attempt).
+                "attempts": int(event.attr("attempts", 1)),  # type: ignore[arg-type]
+                "retry_wait_s": float(event.attr("retry_wait_s", 0.0)),  # type: ignore[arg-type]
+                "degraded": bool(event.attr("degraded", False)),
             }
         )
     return rows
@@ -514,6 +523,9 @@ def flow_summary_from_log(
             "in": str(DataSize(row["input_bytes"])),  # type: ignore[arg-type]
             "out": str(DataSize(row["output_bytes"])),  # type: ignore[arg-type]
             "cpu": str(Duration(row["cpu_seconds"])),  # type: ignore[arg-type]
+            "attempts": row["attempts"],
+            "wait": str(Duration(row["retry_wait_s"])),  # type: ignore[arg-type]
+            "degraded": row["degraded"],
         }
         for row in stage_rows_from_log(events)
     ]
@@ -532,3 +544,35 @@ def total_cpu_from_log(events: Iterable[TelemetryEvent]) -> Duration:
     return Duration(
         sum(row["cpu_seconds"] for row in stage_rows_from_log(events))  # type: ignore[misc]
     )
+
+
+def availability_from_log(events: Iterable[TelemetryEvent]) -> Dict[str, object]:
+    """Flow availability accounting regenerated from a persisted log.
+
+    Counts stage completions, retry attempts and their simulated wait,
+    injected faults, graceful degradations, and dead letters — the
+    columns the resilience experiment (C17) reports.  Works on pre-fault
+    logs too: absent attributes read as a clean single attempt.
+    """
+    summary: Dict[str, object] = {
+        "stages": 0,
+        "completed": 0,
+        "degraded": 0,
+        "dead_letters": 0,
+        "attempts": 0,
+        "faults_injected": 0,
+        "retry_wait_s": 0.0,
+    }
+    for event in events:
+        if event.kind == "stage.finish":
+            summary["stages"] += 1  # type: ignore[operator]
+            summary["completed"] += 1  # type: ignore[operator]
+            summary["attempts"] += int(event.attr("attempts", 1))  # type: ignore[arg-type, operator]
+            summary["retry_wait_s"] += float(event.attr("retry_wait_s", 0.0))  # type: ignore[arg-type, operator]
+            if event.attr("degraded", False):
+                summary["degraded"] += 1  # type: ignore[operator]
+        elif event.kind == "fault.injected":
+            summary["faults_injected"] += 1  # type: ignore[operator]
+        elif event.kind == "stage.dead_letter":
+            summary["dead_letters"] += 1  # type: ignore[operator]
+    return summary

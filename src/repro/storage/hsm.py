@@ -70,6 +70,24 @@ class HsmStats:
         return merged
 
 
+@dataclass
+class CartridgeLossReport:
+    """What one failed cartridge took with it — and what survives on disk.
+
+    ``recoverable`` names still have a live disk-tier copy in the HSM
+    cache, so they can be re-migrated to a fresh cartridge instead of
+    being silently lost; ``unrecoverable`` names existed only on the
+    failed tape.  (The Arecibo operators' real procedure: when a tape or
+    drive dies, re-archive whatever the disk tier still holds and request
+    reshipment of the rest.)
+    """
+
+    cartridge_label: str
+    lost: List[str] = field(default_factory=list)
+    recoverable: List[str] = field(default_factory=list)
+    unrecoverable: List[str] = field(default_factory=list)
+
+
 class HierarchicalStore:
     """Tape library + LRU disk cache, write-through.
 
@@ -174,6 +192,47 @@ class HierarchicalStore:
         if cartridge is None:
             raise StorageError(f"HSM cache/tape inconsistency for {name!r}")
         return cartridge.fetch(name), Duration.zero()
+
+    def fail_cartridge(self, index: int, remigrate: bool = True) -> CartridgeLossReport:
+        """Fail one tape cartridge, reporting what the disk tier still holds.
+
+        Every file on the cartridge is lost from tape; those with a live
+        disk-tier (cache) copy are *recoverable*.  With ``remigrate=True``
+        (default) the recoverable files are immediately re-archived to a
+        fresh cartridge — write-through, so they stay cached and readable.
+        With ``remigrate=False`` the recoverable names are reported but
+        evicted from the cache too (no dangling cache entries pointing at
+        dead tape), modelling an operator who declines the re-migration.
+        """
+        cartridge = self.library._cartridges[index]  # noqa: SLF001 - same package
+        survivors = {
+            file.name: file
+            for file in cartridge.files
+            if file.name in self._cache
+        }
+        lost = self.library.fail_cartridge(index)
+        report = CartridgeLossReport(cartridge_label=cartridge.label, lost=lost)
+        for name in lost:
+            if name in survivors:
+                report.recoverable.append(name)
+            else:
+                report.unrecoverable.append(name)
+                self._cache.pop(name, None)
+        for name in report.recoverable:
+            if remigrate:
+                file = survivors[name]
+                self.library.archive(name, file.size, file.content_tag)
+                self.metrics.counter("hsm.remigrations").inc()
+                self._telemetry.emit(
+                    "storage.write",
+                    name,
+                    store=self.library.name,
+                    bytes=file.size.bytes,
+                    remigrated=True,
+                )
+            else:
+                self._cache.pop(name, None)
+        return report
 
     def pin_set(self, names: List[str]) -> Duration:
         """Pre-stage a working set into cache (batched, mount-efficient)."""

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.core.errors import StorageError
+from repro.core.faults import FaultInjector, delay_seconds
 from repro.core.telemetry import MetricsRegistry, Telemetry, get_telemetry
 from repro.core.units import DataSize, Duration
 from repro.storage.media import LTO3_TAPE, MediaType, Medium, StoredFile, checksum_for
@@ -58,6 +59,7 @@ class RoboticTapeLibrary:
         media_type: MediaType = LTO3_TAPE,
         drives: int = 2,
         telemetry: Optional[Telemetry] = None,
+        faults: Optional[FaultInjector] = None,
     ):
         if drives <= 0:
             raise StorageError("library needs at least one drive")
@@ -70,6 +72,21 @@ class RoboticTapeLibrary:
         self._fill: Optional[Medium] = None
         self.metrics = MetricsRegistry()
         self._telemetry = telemetry if telemetry is not None else get_telemetry()
+        #: Armed fault injector shared with the rest of the run (or None).
+        #: Operations consult it under scope ``"storage"`` with targets
+        #: ``"<library>/archive"`` and ``"<library>/recall"``: ``"crash"``
+        #: raises before any state mutates, ``"delay"`` charges extra
+        #: simulated mount/transfer stall, and ``"corrupt"`` (recall only)
+        #: hands back a corrupted copy for integrity checks to catch.
+        self.faults = faults
+
+    def _consult_faults(self, operation: str) -> tuple[Duration, bool]:
+        """Fire the injector for one operation; returns (stall, corrupt)."""
+        if self.faults is None:
+            return Duration.zero(), False
+        records = self.faults.check("storage", f"{self.name}/{operation}")
+        corrupt = any(record.kind == "corrupt" for record in records)
+        return Duration(delay_seconds(records)), corrupt
 
     @property
     def stats(self) -> TapeStats:
@@ -113,6 +130,7 @@ class RoboticTapeLibrary:
     # -- operations ----------------------------------------------------------
     def archive(self, name: str, size: DataSize, content_tag: str = "") -> Duration:
         """Append a file to tape; returns the simulated elapsed time."""
+        stall, _ = self._consult_faults("archive")
         if name in self._locations:
             raise StorageError(f"library {self.name!r} already archived {name!r}")
         if size.bytes > self.media_type.capacity.bytes:
@@ -133,6 +151,7 @@ class RoboticTapeLibrary:
         # mounts separately, so only add transfer time here.
         self._fill.files.append(file)
         elapsed += size / self.media_type.write_rate
+        elapsed += stall
         self._locations[name] = self._fill
         self.metrics.counter("tape.writes").inc()
         self.metrics.counter("tape.bytes_written").inc(size.bytes)
@@ -149,6 +168,7 @@ class RoboticTapeLibrary:
 
     def recall(self, name: str) -> tuple[StoredFile, Duration]:
         """Read a file back; returns (file, simulated elapsed time)."""
+        stall, corrupt = self._consult_faults("recall")
         cartridge = self._locations.get(name)
         if cartridge is None:
             raise StorageError(f"library {self.name!r} has no file {name!r}")
@@ -156,7 +176,19 @@ class RoboticTapeLibrary:
             raise StorageError(f"cartridge holding {name!r} has failed")
         elapsed = self._mount(cartridge)
         file = cartridge.fetch(name)
+        if corrupt:
+            # Hand back a corrupted copy (a bad read), leaving the archived
+            # original intact so a re-read can succeed.
+            damaged = StoredFile(
+                name=file.name,
+                size=file.size,
+                checksum=file.checksum,
+                content_tag=file.content_tag,
+            )
+            damaged.corrupt()
+            file = damaged
         elapsed += file.size / self.media_type.read_rate
+        elapsed += stall
         self.metrics.counter("tape.reads").inc()
         self.metrics.counter("tape.bytes_read").inc(file.size.bytes)
         self.metrics.gauge("tape.busy_seconds").add(elapsed.seconds)

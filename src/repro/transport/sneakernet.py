@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.core.errors import TransportError
+from repro.core.faults import FaultInjector, delay_seconds
 from repro.core.resources import CostLedger, PersonnelModel
 from repro.core.telemetry import MetricsRegistry, Telemetry, get_telemetry
 from repro.core.units import DataSize, Duration, Rate
@@ -55,6 +56,19 @@ class ShipmentSpec:
             raise TransportError("need at least one copy station")
         if self.media_per_package <= 0:
             raise TransportError("need at least one medium per package")
+        # Fail fast on bad damage models: a lane with corruption_prob=1.2
+        # used to sail through construction and only blow up (or silently
+        # misbehave) inside damage_in_transit once files were in flight.
+        if not 0.0 <= self.corruption_prob <= 1.0:
+            raise TransportError(
+                f"lane {self.name!r}: corruption_prob must be within [0, 1], "
+                f"got {self.corruption_prob}"
+            )
+        if not 0.0 <= self.loss_prob <= 1.0:
+            raise TransportError(
+                f"lane {self.name!r}: loss_prob must be within [0, 1], "
+                f"got {self.loss_prob}"
+            )
 
     def media_needed(self, volume: DataSize) -> int:
         return max(1, math.ceil(volume.bytes / self.media_type.capacity.bytes))
@@ -160,6 +174,7 @@ class ShippingLane:
         personnel: Optional[PersonnelModel] = None,
         rng: Optional[random.Random] = None,
         telemetry: Optional[Telemetry] = None,
+        faults: Optional[FaultInjector] = None,
     ):
         self.spec = spec
         self.personnel = personnel if personnel is not None else PersonnelModel()
@@ -167,6 +182,14 @@ class ShippingLane:
         self.ledger = CostLedger()
         self.metrics = MetricsRegistry()
         self._telemetry = telemetry if telemetry is not None else get_telemetry()
+        #: Armed fault injector shared with the rest of the run (or None).
+        #: ``ship`` consults it once per dispatch attempt under scope
+        #: ``"lane"``, target = the lane name: ``"crash"`` aborts the
+        #: shipment before anything moves (a lost courier, retried at the
+        #: stage level), ``"delay"`` stretches transit, and ``"corrupt"``/
+        #: ``"drop"`` damage the leading media of the attempt — caught by
+        #: manifest verification and retransmitted like organic damage.
+        self.faults = faults
 
     @property
     def stats(self) -> LaneStats:
@@ -189,6 +212,13 @@ class ShippingLane:
         """Execute a shipment, retransmitting damaged/lost media as needed."""
         if volume.bytes <= 0:
             raise TransportError("cannot ship an empty volume")
+        # Consult the injector before anything moves or any counter bumps,
+        # so a "crash" fault (lost courier, failed pickup) leaves no
+        # partial state behind for a stage-level retry to trip over.
+        injected = (
+            self.faults.check("lane", self.spec.name) if self.faults is not None else []
+        )
+        injected_stall = Duration(delay_seconds(injected))
         shipment_id = f"ship-{next(_shipment_counter):05d}"
         outgoing = self._files_for(shipment_id, volume)
         manifest = Manifest.for_files(shipment_id, outgoing)
@@ -237,6 +267,15 @@ class ShippingLane:
             arrived = damage_in_transit(
                 pending, self.spec.corruption_prob, self.spec.loss_prob, self.rng
             )
+            if attempts == 1 and injected:
+                elapsed += injected_stall
+                for record in injected:
+                    count = max(1, int(record.param)) if record.param else 1
+                    if record.kind == "corrupt":
+                        for file in arrived[:count]:
+                            file.corrupt()
+                    elif record.kind == "drop":
+                        del arrived[:count]
             good_names = {f.name for f in received}
             received.extend(f for f in arrived if f.verify() and f.name not in good_names)
             report = verify_delivery(manifest, received, telemetry=self._telemetry)

@@ -24,6 +24,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.errors import WebLabError
+from repro.core.faults import FaultInjector, delay_seconds
 from repro.core.telemetry import MetricsRegistry
 from repro.core.units import DataSize, Duration, Rate
 from repro.weblab.arcformat import read_arc
@@ -103,6 +104,7 @@ class PreloadSubsystem:
         database: WebLabDatabase,
         pagestore: PageStore,
         config: Optional[PreloadConfig] = None,
+        faults: Optional[FaultInjector] = None,
     ):
         self.database = database
         self.pagestore = pagestore
@@ -110,6 +112,15 @@ class PreloadSubsystem:
         # The relational load is serialized; parsers run in parallel.
         self._load_lock = threading.Lock()
         self.metrics = MetricsRegistry()
+        #: Armed fault injector (or None), consulted once per :meth:`run`
+        #: under scope ``"preload"``, target ``"weblab/preload"``.  A
+        #: ``"stale"`` fault makes the run serve its previous state — the
+        #: batch is skipped (``preload.stale_serves``/``preload.stale_files``
+        #: count the degradation) and users keep reading the last loaded
+        #: crawl, the WebLab's graceful answer to a preload stall.  A
+        #: ``"crash"`` raises before any file is parsed; ``"delay"``
+        #: stretches the run's recorded elapsed time.
+        self.faults = faults
 
     @property
     def lifetime_stats(self) -> PreloadStats:
@@ -200,6 +211,19 @@ class PreloadSubsystem:
         lifetime registry across the run (see :attr:`lifetime_stats` for
         the running totals).
         """
+        injected = (
+            self.faults.check("preload", "weblab/preload")
+            if self.faults is not None
+            else []
+        )
+        if any(record.kind == "stale" for record in injected):
+            # Serve stale: skip this batch entirely; readers keep the
+            # previously loaded crawls.  The cull is recorded, not silent.
+            self.metrics.counter("preload.stale_serves").inc()
+            self.metrics.counter("preload.stale_files").inc(
+                len(list(arc_paths)) + len(list(dat_paths))
+            )
+            return self.lifetime_stats - self.lifetime_stats
         crawl_indexes = {index for _, index in list(arc_paths) + list(dat_paths)}
         for index in sorted(crawl_indexes):
             # Registration is idempotent for matching times; preload callers
@@ -221,7 +245,9 @@ class PreloadSubsystem:
                 future.result()
             for future in dat_futures:
                 future.result()
-        self.metrics.counter("preload.elapsed_s").inc(time.perf_counter() - start)
+        self.metrics.counter("preload.elapsed_s").inc(
+            time.perf_counter() - start + delay_seconds(injected)
+        )
         return self.lifetime_stats - before
 
 

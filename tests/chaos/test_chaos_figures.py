@@ -1,0 +1,169 @@
+"""Chaos harness: seeded fault plans swept over both figure pipelines.
+
+The contract under test is the tentpole of the resilience subsystem:
+with a nonzero fault plan and a retry policy, both figure flows still
+run to completion, every injection is visible in the availability
+accounting, and the whole run — faults, retries, degradations and all —
+is deterministic (same seed, same plan, same canonical event log).
+"""
+
+import pytest
+
+from repro.arecibo.pipeline import AreciboPipelineConfig, run_arecibo_pipeline
+from repro.arecibo.sky import SkyModel
+from repro.arecibo.telescope import ObservationConfig
+from repro.cleo.pipeline import CleoPipelineConfig, run_cleo_pipeline
+from repro.core.faults import FaultPlan, FaultSpec
+from repro.core.recovery import RetryPolicy
+from repro.core.telemetry import strip_wall_clock
+
+SEEDS = [3, 17, 29]
+
+RETRY = RetryPolicy(max_attempts=3, backoff_base_s=10.0, backoff_factor=2.0)
+
+
+def arecibo_config(seed, workers=2):
+    return AreciboPipelineConfig(
+        n_pointings=2,
+        observation=ObservationConfig(n_channels=32, n_samples=2048),
+        sky=SkyModel(
+            seed=seed,
+            pulsar_fraction=0.5,
+            binary_fraction=0.0,
+            transient_rate=0.5,
+            period_range_s=(0.03, 0.12),
+            snr_range=(15.0, 30.0),
+        ),
+        seed=seed,
+        workers=workers,
+    )
+
+
+def arecibo_plan(seed):
+    """Transient stage crashes plus persistent probabilistic beam drops."""
+    return FaultPlan(
+        specs=(
+            FaultSpec(name="process-crash", scope="stage",
+                      target="arecibo-figure1/process", kind="crash",
+                      max_fires=1),
+            FaultSpec(name="customs-hold", scope="stage",
+                      target="arecibo-figure1/ship", kind="delay",
+                      param=3600.0, max_fires=1),
+            FaultSpec(name="beam-dropout", scope="beam",
+                      target="arecibo-figure1/p*", kind="drop",
+                      probability=0.3, max_fires=None),
+        ),
+        seed=seed,
+    )
+
+
+def cleo_plan(seed):
+    return FaultPlan(
+        specs=(
+            FaultSpec(name="reco-crash", scope="stage",
+                      target="cleo-figure2/reconstruction", kind="crash",
+                      max_fires=1),
+            FaultSpec(name="farm-brownout", scope="stage",
+                      target="cleo-figure2/monte-carlo", kind="delay",
+                      param=1800.0, max_fires=1),
+        ),
+        seed=seed,
+    )
+
+
+def canonical(report):
+    return strip_wall_clock(report.flow_report.events)
+
+
+class TestAreciboChaos:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_completes_under_injection_with_visible_accounting(
+        self, tmp_path, seed
+    ):
+        report = run_arecibo_pipeline(
+            tmp_path,
+            arecibo_config(seed),
+            faults=arecibo_plan(seed),
+            retry=RETRY,
+        )
+        availability = report.flow_report.availability()
+        assert availability["stages"] == availability["completed"]
+        # The transient process crash forced at least one retry...
+        assert availability["attempts"] > availability["stages"]
+        assert availability["retry_wait_s"] > 0.0
+        # ...and every injection (crash + delay + any beam drops) is on
+        # the books.
+        assert availability["faults_injected"] >= 2
+        assert availability["faults_injected"] >= 2 + len(report.beam_culls)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_chaos_runs_are_deterministic(self, tmp_path, seed):
+        def run(where):
+            return run_arecibo_pipeline(
+                tmp_path / where,
+                arecibo_config(seed),
+                faults=arecibo_plan(seed),
+                retry=RETRY,
+            )
+
+        first, second = run("a"), run("b")
+        assert canonical(first) == canonical(second)
+        assert first.score == second.score
+        assert first.beam_culls == second.beam_culls
+
+    def test_culled_beams_shrink_the_science_but_not_the_run(self, tmp_path):
+        # A plan that certainly drops one beam of one pointing: the flow
+        # still completes and the cull is reported, the paper's "drop the
+        # beam, keep the survey" degradation.
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(name="dead-beam", scope="beam",
+                          target="arecibo-figure1/p0000/b3", kind="drop",
+                          max_fires=None),
+            ),
+            seed=1,
+        )
+        report = run_arecibo_pipeline(
+            tmp_path, arecibo_config(7), faults=plan, retry=RETRY
+        )
+        assert report.beam_culls == [(0, 3)]
+        availability = report.flow_report.availability()
+        assert availability["stages"] == availability["completed"]
+
+
+class TestCleoChaos:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_completes_under_injection_with_visible_accounting(
+        self, tmp_path, seed
+    ):
+        report = run_cleo_pipeline(
+            tmp_path,
+            CleoPipelineConfig(
+                n_runs=2, events_scale=0.0003, seed=seed, workers=2
+            ),
+            faults=cleo_plan(seed),
+            retry=RETRY,
+        )
+        availability = report.flow_report.availability()
+        assert availability["stages"] == availability["completed"]
+        assert availability["attempts"] == availability["stages"] + 1
+        assert availability["faults_injected"] == 2
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_chaos_runs_are_deterministic(self, tmp_path, seed):
+        def run(where):
+            return run_cleo_pipeline(
+                tmp_path / where,
+                CleoPipelineConfig(
+                    n_runs=2, events_scale=0.0003, seed=seed, workers=2
+                ),
+                faults=cleo_plan(seed),
+                retry=RETRY,
+            )
+
+        first, second = run("a"), run("b")
+        assert canonical(first) == canonical(second)
+        assert (
+            first.analysis.histogram.fingerprint()
+            == second.analysis.histogram.fingerprint()
+        )

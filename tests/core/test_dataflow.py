@@ -241,4 +241,8 @@ class TestEngine:
         rows = Engine().run(flow).summary_rows()
         assert rows[0]["stage"] == "src"
         assert rows[0]["site"] == "lab"
-        assert set(rows[0]) == {"stage", "site", "in", "out", "cpu"}
+        assert set(rows[0]) == {
+            "stage", "site", "in", "out", "cpu", "attempts", "wait", "degraded",
+        }
+        assert rows[0]["attempts"] == 1
+        assert rows[0]["degraded"] is False

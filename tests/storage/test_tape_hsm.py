@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.core.errors import CapacityError, StorageError
+from repro.core.errors import CapacityError, InjectedFault, StorageError
+from repro.core.faults import FaultPlan, FaultSpec
 from repro.core.units import DataSize, Duration, Rate
 from repro.storage.hsm import HierarchicalStore, HsmStats
 from repro.storage.media import MediaType
@@ -217,3 +218,95 @@ class TestHsmStatsMerge:
         )
         total = merged.hits + merged.misses
         assert merged.hit_rate == pytest.approx(merged.hits / total)
+
+
+class TestCartridgeLossRecovery:
+    """fail_cartridge at the HSM level: the disk tier saves what it holds."""
+
+    def loaded_hsm(self, cache_gb=3):
+        library = RoboticTapeLibrary("ctc", tiny_tape(capacity_gb=100))
+        hsm = HierarchicalStore(library, cache_capacity=DataSize.gigabytes(cache_gb))
+        for name in ("a", "b", "c", "d"):
+            hsm.store(name, DataSize.gigabytes(1))
+        return library, hsm
+
+    def test_report_partitions_lost_files_by_disk_copy(self):
+        library, hsm = self.loaded_hsm(cache_gb=3)
+        # Write-through + LRU: storing d evicted a, so a exists only on tape.
+        assert not hsm.is_cached("a")
+        report = hsm.fail_cartridge(0)
+        assert report.lost == ["a", "b", "c", "d"]
+        assert report.recoverable == ["b", "c", "d"]
+        assert report.unrecoverable == ["a"]
+
+    def test_remigration_rearchives_the_survivors(self):
+        library, hsm = self.loaded_hsm(cache_gb=3)
+        hsm.fail_cartridge(0)
+        # Re-archived to a fresh cartridge, still cached, still readable.
+        for name in ("b", "c", "d"):
+            assert library.holds(name)
+            assert hsm.is_cached(name)
+            file, _ = hsm.read(name)
+            assert file.verify()
+        assert not library.holds("a")
+        assert int(hsm.metrics.value("hsm.remigrations")) == 3
+
+    def test_remigrate_false_reports_but_evicts(self):
+        library, hsm = self.loaded_hsm(cache_gb=3)
+        report = hsm.fail_cartridge(0, remigrate=False)
+        assert report.recoverable == ["b", "c", "d"]
+        # Declined: nothing re-archived, and no cache entry dangles over
+        # dead tape.
+        for name in ("b", "c", "d"):
+            assert not library.holds(name)
+            assert not hsm.is_cached(name)
+        assert int(hsm.metrics.value("hsm.remigrations")) == 0
+
+    def test_unrecoverable_files_cannot_be_read(self):
+        library, hsm = self.loaded_hsm(cache_gb=3)
+        hsm.fail_cartridge(0)
+        with pytest.raises(StorageError):
+            hsm.read("a")
+
+
+class TestTapeFaultShims:
+    def make_plan(self, *specs, seed=17):
+        return FaultPlan(specs=tuple(specs), seed=seed)
+
+    def test_archive_crash_leaves_no_partial_state(self):
+        plan = self.make_plan(
+            FaultSpec(name="robot-jam", scope="storage",
+                      target="ctc/archive", kind="crash", max_fires=1)
+        )
+        library = RoboticTapeLibrary("ctc", tiny_tape(), faults=plan.arm())
+        with pytest.raises(InjectedFault):
+            library.archive("a", DataSize.gigabytes(1))
+        # Nothing mutated: the retry succeeds without a duplicate error.
+        assert not library.holds("a")
+        library.archive("a", DataSize.gigabytes(1))
+        assert library.holds("a")
+
+    def test_recall_delay_charges_simulated_stall(self):
+        plan = self.make_plan(
+            FaultSpec(name="slow-mount", scope="storage",
+                      target="ctc/recall", kind="delay", param=300.0)
+        )
+        clean = RoboticTapeLibrary("ctc", tiny_tape())
+        clean.archive("a", DataSize.gigabytes(1))
+        _, baseline = clean.recall("a")
+        faulted = RoboticTapeLibrary("ctc", tiny_tape(), faults=plan.arm())
+        faulted.archive("a", DataSize.gigabytes(1))
+        _, elapsed = faulted.recall("a")
+        assert elapsed.seconds == pytest.approx(baseline.seconds + 300.0)
+
+    def test_recall_corruption_damages_the_copy_not_the_archive(self):
+        plan = self.make_plan(
+            FaultSpec(name="bad-read", scope="storage",
+                      target="ctc/recall", kind="corrupt", max_fires=1)
+        )
+        library = RoboticTapeLibrary("ctc", tiny_tape(), faults=plan.arm())
+        library.archive("a", DataSize.gigabytes(1))
+        file, _ = library.recall("a")
+        assert not file.verify()  # the bad read
+        file, _ = library.recall("a")
+        assert file.verify()  # re-read succeeds: archive copy intact
