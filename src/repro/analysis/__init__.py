@@ -1,0 +1,59 @@
+"""Static analysis for the determinism contract.
+
+Two halves:
+
+* :mod:`repro.analysis.linter` — an AST lint framework with registered
+  rules (``RPR001``...) that prove, at parse time, the disciplines the
+  test suite can only spot-check: no unseeded RNGs, no stray wall-clock
+  reads, no unregistered telemetry kinds, no hash-ordered accounting,
+  no config-dependent stages outside the cache key.
+* :mod:`repro.analysis.flowcheck` — deep structural checks over
+  :class:`~repro.core.dataflow.DataFlow` graphs (``FLW001``...): named
+  cycles, dangling datasets, volume-conservation bounds, transport site
+  consistency, and unit-checked volume declarations.
+
+Run both from the command line::
+
+    python -m repro.analysis src/            # lint (exit 1 on findings)
+    python -m repro.analysis --flowcheck src/  # lint + figure flow checks
+"""
+
+from repro.analysis.flowcheck import (
+    FlowIssue,
+    FlowSpec,
+    StageVolume,
+    check_flow,
+    figure_flows,
+)
+from repro.analysis.linter import (
+    Finding,
+    Linter,
+    ModuleSource,
+    Rule,
+    register,
+    registered_rules,
+    render_json,
+    render_text,
+    report_dict,
+    summary_counts,
+    unsuppressed,
+)
+
+__all__ = [
+    "Finding",
+    "FlowIssue",
+    "FlowSpec",
+    "Linter",
+    "ModuleSource",
+    "Rule",
+    "StageVolume",
+    "check_flow",
+    "figure_flows",
+    "register",
+    "registered_rules",
+    "render_json",
+    "render_text",
+    "report_dict",
+    "summary_counts",
+    "unsuppressed",
+]

@@ -1,0 +1,331 @@
+"""Determinism lint framework: prove the repo's discipline at parse time.
+
+PRs 1-4 made "byte-identical telemetry logs across execution strategies"
+a hard invariant, but until now it was enforced only by example-based
+tests: one unseeded ``default_rng()``, a stray ``time.time()``, or a
+set iteration feeding accounting would silently break it for some flow
+no test happens to cover.  This module is the framework half of
+``repro.analysis``: rules (see :mod:`repro.analysis.rules`) are small
+AST visitors registered under stable codes (``RPR001``...), a
+:class:`Linter` runs them over files or trees, and findings can be
+rendered as text or a machine-readable JSON report.
+
+Suppression is explicit and per-line::
+
+    elapsed = time.perf_counter() - start  # repro: noqa[RPR002]
+
+A suppressed finding is still *collected* (it appears in the JSON report
+with its suppression reason) but does not fail the run — the same
+philosophy as the telemetry substrate: nothing is silent, everything is
+accounted.
+
+Adding a rule: subclass :class:`Rule`, set ``code``/``name``/
+``description``, implement :meth:`Rule.check` yielding findings via
+:meth:`Rule.finding` (which applies noqa automatically), and decorate
+with :func:`register`.  Import the module from
+``repro.analysis.rules.__init__`` so the registry sees it.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type, Union
+
+#: Reserved code for files the linter cannot parse at all.
+PARSE_ERROR_CODE = "RPR000"
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa\[([A-Za-z0-9_,\s]+)\]")
+_CODE_RE = re.compile(r"^RPR\d{3}$")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    code: str
+    rule: str
+    message: str
+    path: str
+    line: int
+    col: int
+    #: True when the finding is silenced — by an inline
+    #: ``# repro: noqa[CODE]`` or a rule's built-in allowlist.
+    suppressed: bool = False
+    #: Why it is silenced: ``"noqa"``, ``"allowlist"``, or ``""``.
+    suppression: str = ""
+
+    def render(self) -> str:
+        note = f"  (suppressed: {self.suppression})" if self.suppressed else ""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}{note}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "code": self.code,
+            "rule": self.rule,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "suppressed": self.suppressed,
+            "suppression": self.suppression,
+        }
+
+
+class ModuleSource:
+    """A parsed source file plus its per-line noqa suppressions."""
+
+    def __init__(self, path: Union[str, Path], text: str):
+        self.path = str(path)
+        self.text = text
+        self.tree = ast.parse(text, filename=self.path)
+        self._noqa: Dict[int, frozenset] = {}
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            match = _NOQA_RE.search(line)
+            if match:
+                codes = frozenset(
+                    code.strip().upper()
+                    for code in match.group(1).split(",")
+                    if code.strip()
+                )
+                self._noqa[lineno] = codes
+
+    @classmethod
+    def read(cls, path: Union[str, Path]) -> "ModuleSource":
+        return cls(path, Path(path).read_text(encoding="utf-8"))
+
+    def suppressed_codes(self, line: int) -> frozenset:
+        """Codes silenced by a ``# repro: noqa[...]`` comment on ``line``."""
+        return self._noqa.get(line, frozenset())
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``code`` (``RPR###``), ``name`` (short kebab-case
+    slug), and ``description``, and implement :meth:`check`.
+    """
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        module: ModuleSource,
+        node: ast.AST,
+        message: str,
+        suppressed: bool = False,
+        suppression: str = "",
+    ) -> Finding:
+        """Build a finding at ``node``, applying inline noqa suppression."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        if not suppressed and self.code in module.suppressed_codes(line):
+            suppressed, suppression = True, "noqa"
+        return Finding(
+            code=self.code,
+            rule=self.name,
+            message=message,
+            path=module.path,
+            line=line,
+            col=col,
+            suppressed=suppressed,
+            suppression=suppression,
+        )
+
+
+# -- registry -------------------------------------------------------------
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: add a rule to the global registry by its code."""
+    if not _CODE_RE.match(rule_cls.code or ""):
+        raise ValueError(f"rule {rule_cls.__name__} has invalid code {rule_cls.code!r}")
+    existing = _REGISTRY.get(rule_cls.code)
+    if existing is not None and existing is not rule_cls:
+        raise ValueError(
+            f"rule code {rule_cls.code} already registered by {existing.__name__}"
+        )
+    _REGISTRY[rule_cls.code] = rule_cls
+    return rule_cls
+
+
+def registered_rules() -> List[Type[Rule]]:
+    """All registered rule classes, sorted by code (imports the rule pack)."""
+    import repro.analysis.rules  # noqa: F401  - populates the registry
+
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+# -- import resolution ----------------------------------------------------
+class ImportMap:
+    """Maps local names to canonical dotted module paths.
+
+    ``import numpy as np`` makes ``np.random.default_rng`` resolve to
+    ``numpy.random.default_rng``; ``from random import Random`` makes a
+    bare ``Random`` resolve to ``random.Random``.  Names not bound by an
+    import resolve to ``None``, so locals shadowing module names (an
+    ``rng`` variable, say) are never mistaken for module calls.
+    """
+
+    def __init__(self, tree: ast.AST):
+        self._aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self._aliases[alias.asname] = alias.name
+                    else:
+                        root = alias.name.split(".")[0]
+                        self._aliases[root] = root
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue  # relative imports never hit stdlib/numpy
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self._aliases[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Canonical dotted name of an attribute chain, or None."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        head = self._aliases.get(node.id)
+        if head is None:
+            return None
+        parts.append(head)
+        return ".".join(reversed(parts))
+
+
+# -- the linter -----------------------------------------------------------
+class Linter:
+    """Runs a rule set over files and directory trees."""
+
+    def __init__(
+        self,
+        rules: Optional[Sequence[Type[Rule]]] = None,
+        select: Optional[Iterable[str]] = None,
+    ):
+        classes = list(rules) if rules is not None else registered_rules()
+        if select is not None:
+            wanted = {code.strip().upper() for code in select}
+            unknown = wanted - {cls.code for cls in classes}
+            if unknown:
+                raise ValueError(f"unknown rule codes selected: {sorted(unknown)}")
+            classes = [cls for cls in classes if cls.code in wanted]
+        self.rules: List[Rule] = [cls() for cls in classes]
+
+    def lint_file(self, path: Union[str, Path]) -> List[Finding]:
+        try:
+            module = ModuleSource.read(path)
+        except SyntaxError as exc:
+            return [
+                Finding(
+                    code=PARSE_ERROR_CODE,
+                    rule="parse-error",
+                    message=f"cannot parse file: {exc.msg}",
+                    path=str(path),
+                    line=exc.lineno or 1,
+                    col=exc.offset or 0,
+                )
+            ]
+        findings = [
+            finding for rule in self.rules for finding in rule.check(module)
+        ]
+        findings.sort(key=lambda f: (f.line, f.col, f.code))
+        return findings
+
+    def lint_paths(self, paths: Sequence[Union[str, Path]]) -> List[Finding]:
+        """Lint files and (recursively) directories; deterministic order."""
+        files: List[Path] = []
+        for entry in paths:
+            entry = Path(entry)
+            if entry.is_dir():
+                files.extend(sorted(entry.rglob("*.py")))
+            else:
+                files.append(entry)
+        findings: List[Finding] = []
+        for path in files:
+            findings.extend(self.lint_file(path))
+        return findings
+
+
+def unsuppressed(findings: Iterable[Finding]) -> List[Finding]:
+    return [finding for finding in findings if not finding.suppressed]
+
+
+def summary_counts(findings: Iterable[Finding]) -> Dict[str, Dict[str, int]]:
+    """Per-code violation counts, split flagged vs suppressed."""
+    counts: Dict[str, Dict[str, int]] = {}
+    for finding in findings:
+        bucket = counts.setdefault(finding.code, {"flagged": 0, "suppressed": 0})
+        bucket["suppressed" if finding.suppressed else "flagged"] += 1
+    return {code: counts[code] for code in sorted(counts)}
+
+
+# -- reporters ------------------------------------------------------------
+def render_text(
+    findings: Sequence[Finding], show_suppressed: bool = False
+) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    shown = [
+        finding
+        for finding in findings
+        if show_suppressed or not finding.suppressed
+    ]
+    lines = [finding.render() for finding in shown]
+    flagged = len(unsuppressed(findings))
+    silenced = len(findings) - flagged
+    lines.append(
+        f"{flagged} finding{'s' if flagged != 1 else ''}"
+        f" ({silenced} suppressed)"
+    )
+    return "\n".join(lines)
+
+
+def report_dict(
+    findings: Sequence[Finding],
+    paths: Sequence[Union[str, Path]] = (),
+) -> Dict[str, object]:
+    """Machine-readable report (the CI artifact's lint half)."""
+    return {
+        "paths": [str(path) for path in paths],
+        "findings": [finding.to_dict() for finding in findings],
+        "summary": summary_counts(findings),
+        "ok": not unsuppressed(findings),
+    }
+
+
+def render_json(
+    findings: Sequence[Finding],
+    paths: Sequence[Union[str, Path]] = (),
+) -> str:
+    return json.dumps(report_dict(findings, paths), indent=2, sort_keys=True)
+
+
+__all__: Tuple[str, ...] = (
+    "Finding",
+    "ImportMap",
+    "Linter",
+    "ModuleSource",
+    "PARSE_ERROR_CODE",
+    "Rule",
+    "register",
+    "registered_rules",
+    "render_json",
+    "render_text",
+    "report_dict",
+    "summary_counts",
+    "unsuppressed",
+)

@@ -1,0 +1,30 @@
+"""The shipped rule pack.
+
+Importing this package registers every rule with the framework registry
+(:func:`repro.analysis.linter.registered_rules` imports it lazily).
+Rule codes are stable and append-only:
+
+========  ==========================  ==============================================
+code      name                        fires on
+========  ==========================  ==============================================
+RPR001    unseeded-rng                unseeded RNG construction / global RNG draws
+RPR002    wall-clock                  host-clock reads outside the telemetry site
+RPR003    unregistered-telemetry-kind literal emit() kinds missing from EVENT_KINDS
+RPR004    unordered-iteration         set iteration feeding order-sensitive code
+RPR005    undeclared-cache-params     config-reading stages without cache_params
+========  ==========================  ==============================================
+"""
+
+from repro.analysis.rules.cacheparams import UndeclaredCacheParamsRule
+from repro.analysis.rules.ordering import UnorderedIterationRule
+from repro.analysis.rules.rng import UnseededRngRule
+from repro.analysis.rules.telemetry_kinds import TelemetryKindRule
+from repro.analysis.rules.wallclock import WallClockRule
+
+__all__ = [
+    "TelemetryKindRule",
+    "UndeclaredCacheParamsRule",
+    "UnorderedIterationRule",
+    "UnseededRngRule",
+    "WallClockRule",
+]

@@ -1,0 +1,124 @@
+"""RPR005: config-reading stage transforms must declare ``cache_params``.
+
+The stage cache keys on flow/stage identity, per-stage seed, input
+provenance digests, and the stage's declared ``cache_params`` — nothing
+else.  A transform that reads pipeline configuration (thresholds,
+release versions, scale factors) while its registration omits
+``cache_params`` will happily serve a cached result computed under a
+*different* configuration: the worst kind of wrong answer, because every
+log still replays byte-identically.
+
+The rule inspects ``flow.stage(name, fn, ...)`` registrations and
+``Stage(...)`` constructions whose transform is a function defined in
+the same module: if the transform's body (or any function it encloses)
+reads an attribute of a name that looks like pipeline configuration
+(``config.*`` / ``cfg.*``), the registration must pass a non-``None``
+``cache_params``.  Both figure pipelines satisfy this by folding their
+entire config repr into every stage's fingerprint.
+
+Transforms that read config but are genuinely config-independent in
+behaviour can suppress with ``# repro: noqa[RPR005]`` at the
+registration site — visibly, like every other exception.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional
+
+from repro.analysis.linter import Finding, ImportMap, ModuleSource, Rule, register
+
+_CONFIG_NAMES = {"config", "cfg"}
+
+
+def _collect_functions(tree: ast.AST) -> Dict[str, ast.AST]:
+    functions: Dict[str, ast.AST] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            functions[node.name] = node
+    return functions
+
+
+def _reads_config(fn_node: ast.AST) -> Optional[str]:
+    """The first ``config.<attr>`` read inside the transform, or None."""
+    for node in ast.walk(fn_node):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in _CONFIG_NAMES
+        ):
+            return f"{node.value.id}.{node.attr}"
+    return None
+
+
+def _transform_argument(node: ast.Call) -> Optional[ast.expr]:
+    """The ``fn`` argument: second positional for ``.stage(name, fn)`` and
+    ``Stage(name, fn)`` alike, else the ``fn`` keyword."""
+    if len(node.args) > 1:
+        return node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "fn":
+            return keyword.value
+    return None
+
+
+def _declares_cache_params(node: ast.Call) -> bool:
+    for keyword in node.keywords:
+        if keyword.arg == "cache_params":
+            value = keyword.value
+            if isinstance(value, ast.Constant) and value.value is None:
+                return False
+            return True
+    return False
+
+
+def _stage_label(node: ast.Call) -> str:
+    if node.args and isinstance(node.args[0], ast.Constant):
+        return repr(node.args[0].value)
+    for keyword in node.keywords:
+        if keyword.arg == "name" and isinstance(keyword.value, ast.Constant):
+            return repr(keyword.value.value)
+    return "<dynamic>"
+
+
+@register
+class UndeclaredCacheParamsRule(Rule):
+    code = "RPR005"
+    name = "undeclared-cache-params"
+    description = (
+        "stage transform reads pipeline config but its registration "
+        "declares no cache_params"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        imports = ImportMap(module.tree)
+        functions = _collect_functions(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            is_stage_method = isinstance(func, ast.Attribute) and func.attr == "stage"
+            is_stage_ctor = (
+                imports.resolve(func) == "repro.core.dataflow.Stage"
+                or (isinstance(func, ast.Name) and func.id == "Stage")
+            )
+            if not (is_stage_method or is_stage_ctor):
+                continue
+            transform = _transform_argument(node)
+            if not isinstance(transform, ast.Name):
+                continue
+            fn_node = functions.get(transform.id)
+            if fn_node is None:
+                continue
+            config_read = _reads_config(fn_node)
+            if config_read is None:
+                continue
+            if _declares_cache_params(node):
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"stage {_stage_label(node)}: transform {transform.id!r} reads "
+                f"{config_read} but the registration declares no cache_params; "
+                "a cached result could replay under a different configuration",
+            )

@@ -1,0 +1,92 @@
+"""RPR001: every random number must come from an explicitly seeded stream.
+
+The determinism contract (sequential == parallel == warm-cache ==
+fault-injected, byte for byte) dies the moment any code path draws from
+an unseeded or process-global RNG.  Three shapes are flagged:
+
+* **unseeded construction** — ``np.random.default_rng()`` or
+  ``random.Random()`` with no arguments seeds from OS entropy;
+* **process-global streams** — module-level calls like
+  ``random.random()``, ``random.shuffle(...)``, ``np.random.normal(...)``
+  share one hidden state across the whole process, so any concurrency
+  (or an unrelated import drawing from it) reorders every stream;
+* **entropy sources** — ``random.SystemRandom`` / ``os.urandom`` can
+  never be seeded at all.
+
+Seeded construction (``default_rng(cfg.seed)``, ``Random(0)``) and calls
+on locally-held generator objects (``rng.normal(...)``) are fine — the
+rule only fires on the ``random`` / ``numpy.random`` modules themselves.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.linter import Finding, ImportMap, ModuleSource, Rule, register
+
+#: Constructors that are safe *when given arguments* (a seed / bit
+#: generator); calling them with no arguments seeds from OS entropy.
+_SEEDED_CONSTRUCTORS = {
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.RandomState",
+    "numpy.random.SeedSequence",
+    "numpy.random.PCG64",
+    "numpy.random.PCG64DXSM",
+    "numpy.random.Philox",
+    "numpy.random.SFC64",
+    "numpy.random.MT19937",
+    "random.Random",
+}
+
+#: Never acceptable: OS-entropy sources with no seeding story at all.
+_ENTROPY_SOURCES = {
+    "random.SystemRandom",
+    "os.urandom",
+    "secrets.token_bytes",
+    "secrets.token_hex",
+    "secrets.randbelow",
+    "uuid.uuid4",
+}
+
+
+@register
+class UnseededRngRule(Rule):
+    code = "RPR001"
+    name = "unseeded-rng"
+    description = (
+        "RNG constructed without a seed, or a draw from the process-global "
+        "random / numpy.random stream"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        imports = ImportMap(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = imports.resolve(node.func)
+            if name is None:
+                continue
+            if name in _ENTROPY_SOURCES:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{name} draws OS entropy and can never be seeded; "
+                    "derive randomness from the run seed instead",
+                )
+            elif name in _SEEDED_CONSTRUCTORS:
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{name}() without a seed draws from OS entropy; "
+                        "pass an explicit seed (or thread the caller's rng)",
+                    )
+            elif name.startswith("random.") or name.startswith("numpy.random."):
+                yield self.finding(
+                    module,
+                    node,
+                    f"{name}() uses the process-global RNG stream; construct "
+                    "a seeded Generator/Random and draw from it instead",
+                )

@@ -1,0 +1,64 @@
+"""RPR003: every literal ``emit(kind)`` must name a registered event kind.
+
+The telemetry bus raises at runtime on an unknown kind — but only when
+that code path actually executes.  A misspelled kind on a rarely-taken
+branch (a fault path, a degraded-mode emit) ships silently and detonates
+in production.  This rule cross-checks every string-literal ``.emit()``
+call site against the real registry — it imports
+:data:`repro.core.telemetry.EVENT_KINDS` rather than keeping a copy, so
+the lint layer can never drift from the runtime vocabulary.
+
+Dynamic kinds (``emit(kind_var, ...)``) cannot be checked statically and
+are left to the runtime guard.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.linter import Finding, ModuleSource, Rule, register
+from repro.core.telemetry import EVENT_KINDS
+
+
+def _kind_argument(node: ast.Call) -> Optional[ast.expr]:
+    """The ``kind`` argument of an emit call: first positional or keyword."""
+    if node.args:
+        return node.args[0]
+    for keyword in node.keywords:
+        if keyword.arg == "kind":
+            return keyword.value
+    return None
+
+
+@register
+class TelemetryKindRule(Rule):
+    code = "RPR003"
+    name = "unregistered-telemetry-kind"
+    description = (
+        "emit() call site names an event kind missing from "
+        "telemetry.EVENT_KINDS"
+    )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            is_emit = (
+                isinstance(func, ast.Attribute) and func.attr == "emit"
+            ) or (isinstance(func, ast.Name) and func.id == "emit")
+            if not is_emit:
+                continue
+            kind = _kind_argument(node)
+            if (
+                isinstance(kind, ast.Constant)
+                and isinstance(kind.value, str)
+                and kind.value not in EVENT_KINDS
+            ):
+                yield self.finding(
+                    module,
+                    kind,
+                    f"event kind {kind.value!r} is not in telemetry.EVENT_KINDS; "
+                    "register it there (with its schema documented) first",
+                )

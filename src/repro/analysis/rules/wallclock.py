@@ -1,0 +1,98 @@
+"""RPR002: wall-clock reads are confined to the telemetry substrate.
+
+Every telemetry event carries exactly one wall-clock field
+(``wall_time``, stamped inside :meth:`repro.core.telemetry.Telemetry.emit`
+and stripped by ``canonical()``), and all other timestamps in the system
+are :class:`~repro.core.telemetry.SimClock` simulated seconds.  Any
+other ``time.time()`` / ``time.monotonic()`` / ``time.perf_counter()``
+or argless ``datetime.now()`` / ``datetime.today()`` call smuggles the
+host's clock into state that must be reproducible run to run.
+
+The sanctioned emit site is allowlisted here by (file, call) rather than
+line number so the rule survives edits to ``telemetry.py``.  Code that
+*intentionally* measures real elapsed time (operational counters that
+never enter a canonical event log) must carry an inline
+``# repro: noqa[RPR002]`` so the exception is visible and accounted.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.analysis.linter import Finding, ImportMap, ModuleSource, Rule, register
+
+_WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+}
+
+#: Argless calls on these resolve "now" from the host clock.
+_DATETIME_NOW_CALLS = {
+    "datetime.datetime.now",
+    "datetime.datetime.today",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+}
+
+#: The one sanctioned wall-clock site: ``wall_time=time.time()`` inside
+#: ``Telemetry.emit`` (repro/core/telemetry.py) — the single field the
+#: canonical log strips.
+SANCTIONED_SITES: Tuple[Tuple[str, str], ...] = (
+    ("repro/core/telemetry.py", "time.time"),
+)
+
+
+@register
+class WallClockRule(Rule):
+    code = "RPR002"
+    name = "wall-clock"
+    description = (
+        "wall-clock read outside the sanctioned telemetry emit site; "
+        "use the run's SimClock"
+    )
+
+    def _sanctioned(self, module: ModuleSource, name: str) -> bool:
+        path = module.path.replace("\\", "/")
+        return any(
+            path.endswith(suffix) and name == call
+            for suffix, call in SANCTIONED_SITES
+        )
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        imports = ImportMap(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = imports.resolve(node.func)
+            if name is None:
+                continue
+            if name in _WALL_CLOCK_CALLS:
+                if self._sanctioned(module, name):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{name}() (sanctioned telemetry wall_time site)",
+                        suppressed=True,
+                        suppression="allowlist",
+                    )
+                else:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"{name}() reads the host clock; simulated time comes "
+                        "from the telemetry SimClock",
+                    )
+            elif name in _DATETIME_NOW_CALLS and not node.args and not node.keywords:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{name}() reads the host clock; thread an explicit "
+                    "timestamp (or SimClock reading) instead",
+                )

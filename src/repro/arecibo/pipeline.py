@@ -30,7 +30,7 @@ from repro.arecibo.rfi import clean_filterbank, multibeam_coincidence
 from repro.arecibo.singlepulse import SinglePulseEvent, search_single_pulses
 from repro.arecibo.sky import N_BEAMS, Pointing, SkyModel
 from repro.arecibo.telescope import ObservationConfig, ObservationSimulator
-from repro.core.dataflow import DataFlow
+from repro.core.dataflow import DataFlow, StageFn, structural_stub
 from repro.core.dataset import Dataset
 from repro.core.engine import Engine, FlowReport
 from repro.core.faults import FaultInjector, FaultPlan, FaultRecord
@@ -136,6 +136,49 @@ def _cache_fingerprint(config: AreciboPipelineConfig) -> Dict[str, object]:
     cache primed sequentially must service a parallel rerun.
     """
     return {"pipeline": repr(replace(config, workers=1))}
+
+
+def figure1_flow(
+    transforms: Optional[Mapping[str, StageFn]] = None,
+    cache_params: Optional[Mapping[str, object]] = None,
+) -> DataFlow:
+    """Build the Figure-1 flow graph: the single construction site.
+
+    :func:`run_arecibo_pipeline` passes its transform closures; static
+    tooling (:mod:`repro.analysis.flowcheck`, figure rendering, tests)
+    calls it bare and gets the identical topology with
+    :func:`~repro.core.dataflow.structural_stub` transforms that raise
+    if executed.  One builder means the checked graph can never drift
+    from the executed one.
+    """
+    transforms = dict(transforms or {})
+
+    def fn(name: str) -> StageFn:
+        return transforms.get(name) or structural_stub(name)
+
+    flow = DataFlow("arecibo-figure1")
+    flow.stage("acquire", fn("acquire"), site="Arecibo",
+               description="dynamic spectra to local disks + QA",
+               cache_params=cache_params)
+    flow.stage("ship", fn("ship"), site="Arecibo->CTC",
+               description="physical ATA-disk transport",
+               cache_params=cache_params)
+    flow.stage("archive", fn("archive"), site="CTC",
+               description="robotic tape archive",
+               cache_params=cache_params)
+    flow.stage("process", fn("process"), site="CTC/PALFA",
+               cpu_seconds_per_gb=3600,
+               description="RFI excision, dedispersion, Fourier search",
+               cache_params=cache_params)
+    flow.stage("consolidate", fn("consolidate"), site="CTC",
+               description="load data products into SQL database",
+               cache_params=cache_params)
+    flow.stage("meta-analysis", fn("meta-analysis"), site="CTC/Web",
+               description="cross-pointing coincidence cull",
+               cache_params=cache_params)
+    flow.chain("acquire", "ship", "archive", "process", "consolidate",
+               "meta-analysis")
+    return flow
 
 
 def run_arecibo_pipeline(
@@ -500,29 +543,17 @@ def run_arecibo_pipeline(
             attrs={"confirmed": len(confirmed)},
         )
 
-    fingerprint = _cache_fingerprint(config)
-    flow = DataFlow("arecibo-figure1")
-    flow.stage("acquire", acquire, site="Arecibo",
-               description="dynamic spectra to local disks + QA",
-               cache_params=fingerprint)
-    flow.stage("ship", ship, site="Arecibo->CTC",
-               description="physical ATA-disk transport",
-               cache_params=fingerprint)
-    flow.stage("archive", archive, site="CTC",
-               description="robotic tape archive",
-               cache_params=fingerprint)
-    flow.stage("process", process, site="CTC/PALFA",
-               cpu_seconds_per_gb=3600,
-               description="RFI excision, dedispersion, Fourier search",
-               cache_params=fingerprint)
-    flow.stage("consolidate", consolidate, site="CTC",
-               description="load data products into SQL database",
-               cache_params=fingerprint)
-    flow.stage("meta-analysis", meta_analyze, site="CTC/Web",
-               description="cross-pointing coincidence cull",
-               cache_params=fingerprint)
-    flow.chain("acquire", "ship", "archive", "process", "consolidate",
-               "meta-analysis")
+    flow = figure1_flow(
+        transforms={
+            "acquire": acquire,
+            "ship": ship,
+            "archive": archive,
+            "process": process,
+            "consolidate": consolidate,
+            "meta-analysis": meta_analyze,
+        },
+        cache_params=_cache_fingerprint(config),
+    )
 
     flow_report = engine.run(flow)
     write_event_log(workdir / "telemetry.jsonl", flow_report.events)

@@ -42,13 +42,20 @@ def flag_bad_channels(filterbank: Filterbank, sigma_threshold: float = 4.0) -> L
     return [int(channel) for channel in np.flatnonzero(scores > sigma_threshold)]
 
 
+#: Default seed for the replacement-noise generator when the caller does
+#: not thread an RNG through :func:`zap_channels`.  An explicit constant —
+#: not an unseeded generator — so a bare call is still reproducible; the
+#: pipeline always passes its own per-pointing RNG instead.
+DEFAULT_ZAP_SEED = 0
+
+
 def zap_channels(
     filterbank: Filterbank,
     channels: Sequence[int],
     rng: Optional[np.random.Generator] = None,
 ) -> Filterbank:
     """Replace flagged channels with unit-variance noise (returns a copy)."""
-    rng = rng if rng is not None else np.random.default_rng(0)
+    rng = rng if rng is not None else np.random.default_rng(DEFAULT_ZAP_SEED)
     data = filterbank.data.copy()
     for channel in channels:
         if not 0 <= channel < filterbank.n_channels:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Mapping, Optional, Union
 
 
 from repro.cleo.analysis import AnalysisJob, AnalysisResult
@@ -19,7 +19,7 @@ from repro.cleo.detector import Detector, DetectorConfig
 from repro.cleo.montecarlo import MonteCarloProducer, produce_offsite_mc
 from repro.cleo.postrecon import PostReconstructor
 from repro.cleo.reconstruction import Reconstructor
-from repro.core.dataflow import DataFlow
+from repro.core.dataflow import DataFlow, StageFn, structural_stub
 from repro.core.dataset import Dataset
 from repro.core.engine import Engine, FlowReport
 from repro.core.faults import FaultInjector, FaultPlan
@@ -103,6 +103,46 @@ def _cache_fingerprint(config: CleoPipelineConfig) -> Dict[str, object]:
     ``workers`` — stage outputs are worker-count-invariant.
     """
     return {"pipeline": repr(replace(config, workers=1))}
+
+
+def figure2_flow(
+    transforms: Optional[Mapping[str, StageFn]] = None,
+    cache_params: Optional[Mapping[str, object]] = None,
+) -> DataFlow:
+    """Build the Figure-2 flow graph: the single construction site.
+
+    :func:`run_cleo_pipeline` binds its transform closures here; static
+    tooling (:mod:`repro.analysis.flowcheck`, rendering, tests) calls it
+    bare and gets the same topology with
+    :func:`~repro.core.dataflow.structural_stub` transforms that raise
+    if executed, so the checked graph is the executed graph.
+    """
+    transforms = dict(transforms or {})
+
+    def fn(name: str) -> StageFn:
+        return transforms.get(name) or structural_stub(name)
+
+    flow = DataFlow("cleo-figure2")
+    flow.stage("acquisition", fn("acquisition"), site="CESR/CLEO",
+               description="runs of collision measurements",
+               cache_params=cache_params)
+    flow.stage("reconstruction", fn("reconstruction"), site="Cornell",
+               cpu_seconds_per_gb=2000, description="track fitting per run",
+               cache_params=cache_params)
+    flow.stage("post-reconstruction", fn("post-reconstruction"), site="Cornell",
+               cpu_seconds_per_gb=300, description="run-statistics pass + dozen ASUs",
+               cache_params=cache_params)
+    flow.stage("monte-carlo", fn("monte-carlo"), site="offsite",
+               cpu_seconds_per_gb=3000, description="MC generation, USB-disk merge",
+               cache_params=cache_params)
+    flow.stage("physics-analysis", fn("physics-analysis"), site="Cornell/remote",
+               cpu_seconds_per_gb=100, description="pinned grade+timestamp analysis",
+               cache_params=cache_params)
+    flow.chain("acquisition", "reconstruction", "post-reconstruction")
+    flow.connect("acquisition", "monte-carlo", label="run conditions")
+    flow.connect("post-reconstruction", "physics-analysis")
+    flow.connect("monte-carlo", "physics-analysis", label="simulation")
+    return flow
 
 
 def run_cleo_pipeline(
@@ -277,27 +317,16 @@ def run_cleo_pipeline(
             attrs={"selected": result.events_selected},
         )
 
-    fingerprint = _cache_fingerprint(config)
-    flow = DataFlow("cleo-figure2")
-    flow.stage("acquisition", acquire, site="CESR/CLEO",
-               description="runs of collision measurements",
-               cache_params=fingerprint)
-    flow.stage("reconstruction", reconstruct, site="Cornell",
-               cpu_seconds_per_gb=2000, description="track fitting per run",
-               cache_params=fingerprint)
-    flow.stage("post-reconstruction", post_reconstruct, site="Cornell",
-               cpu_seconds_per_gb=300, description="run-statistics pass + dozen ASUs",
-               cache_params=fingerprint)
-    flow.stage("monte-carlo", monte_carlo, site="offsite",
-               cpu_seconds_per_gb=3000, description="MC generation, USB-disk merge",
-               cache_params=fingerprint)
-    flow.stage("physics-analysis", grade_and_analyze, site="Cornell/remote",
-               cpu_seconds_per_gb=100, description="pinned grade+timestamp analysis",
-               cache_params=fingerprint)
-    flow.chain("acquisition", "reconstruction", "post-reconstruction")
-    flow.connect("acquisition", "monte-carlo", label="run conditions")
-    flow.connect("post-reconstruction", "physics-analysis")
-    flow.connect("monte-carlo", "physics-analysis", label="simulation")
+    flow = figure2_flow(
+        transforms={
+            "acquisition": acquire,
+            "reconstruction": reconstruct,
+            "post-reconstruction": post_reconstruct,
+            "monte-carlo": monte_carlo,
+            "physics-analysis": grade_and_analyze,
+        },
+        cache_params=_cache_fingerprint(config),
+    )
 
     flow_report = Engine(
         seed=config.seed,

@@ -15,7 +15,17 @@ running anything.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.core.dataset import Dataset
 from repro.core.errors import DataflowError
@@ -24,6 +34,27 @@ from repro.core.recovery import RetryPolicy
 # A stage transform receives {upstream stage name: dataset} and a context
 # object supplied by the engine, and returns its output dataset.
 StageFn = Callable[[Mapping[str, Dataset], "object"], Dataset]
+
+
+def structural_stub(name: str) -> StageFn:
+    """A placeholder transform for flows built only to be *inspected*.
+
+    Pipeline modules expose their figure topologies through builder
+    functions (``figure1_flow``/``figure2_flow``) so static tooling —
+    :mod:`repro.analysis.flowcheck` in particular — can construct and
+    check the exact graph the runtime executes without running any
+    science code.  The stub raises if the engine ever calls it, so a
+    structural flow can never silently masquerade as a runnable one.
+    """
+
+    def stub(inputs: Mapping[str, Dataset], ctx: object) -> Dataset:
+        raise DataflowError(
+            f"stage {name!r} was built structurally (no transform bound); "
+            "structural flows are for inspection only"
+        )
+
+    stub.__name__ = f"structural_stub_{name}"
+    return stub
 
 
 @dataclass
@@ -132,11 +163,16 @@ class DataFlow:
     def connect(self, src: str, dst: str, label: str = "") -> Edge:
         for endpoint in (src, dst):
             if endpoint not in self._stages:
-                raise DataflowError(f"cannot connect unknown stage {endpoint!r}")
+                raise DataflowError(
+                    f"flow {self.name!r}: cannot connect unknown stage "
+                    f"{endpoint!r} (edge {src!r} -> {dst!r})"
+                )
         if src == dst:
-            raise DataflowError(f"self-loop on stage {src!r}")
+            raise DataflowError(f"flow {self.name!r}: self-loop on stage {src!r}")
         if dst in self._succ[src]:
-            raise DataflowError(f"duplicate edge {src!r} -> {dst!r}")
+            raise DataflowError(
+                f"flow {self.name!r}: duplicate edge {src!r} -> {dst!r}"
+            )
         edge = Edge(src=src, dst=dst, label=label)
         self._edges.append(edge)
         self._succ[src].append(dst)
@@ -146,7 +182,10 @@ class DataFlow:
     def chain(self, *names: str, labels: Optional[Sequence[str]] = None) -> None:
         """Connect a linear sequence of already-added stages."""
         if labels is not None and len(labels) != len(names) - 1:
-            raise DataflowError("chain labels must have one entry per edge")
+            raise DataflowError(
+                f"flow {self.name!r}: chain {list(names)} labels must have one "
+                f"entry per edge ({len(names) - 1}), got {len(labels)}"
+            )
         for index in range(len(names) - 1):
             label = labels[index] if labels is not None else ""
             self.connect(names[index], names[index + 1], label=label)
@@ -189,6 +228,40 @@ class DataFlow:
             raise DataflowError(f"flow {self.name!r} has no stages")
         self.topological_order()
 
+    def find_cycle(self) -> Optional[List[str]]:
+        """One directed cycle as a stage path ``[a, b, ..., a]``, or ``None``.
+
+        Iterative colouring DFS in insertion order, so the same graph
+        always names the same cycle — error messages and flowcheck
+        reports stay deterministic.
+        """
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour = {name: WHITE for name in self._stages}
+        for root in self._stages:
+            if colour[root] != WHITE:
+                continue
+            path: List[str] = []
+            stack: List[Tuple[str, Iterator[str]]] = [(root, iter(self._succ[root]))]
+            colour[root] = GREY
+            path.append(root)
+            while stack:
+                node, successors = stack[-1]
+                advanced = False
+                for succ in successors:
+                    if colour[succ] == GREY:
+                        return path[path.index(succ):] + [succ]
+                    if colour[succ] == WHITE:
+                        colour[succ] = GREY
+                        path.append(succ)
+                        stack.append((succ, iter(self._succ[succ])))
+                        advanced = True
+                        break
+                if not advanced:
+                    colour[node] = BLACK
+                    path.pop()
+                    stack.pop()
+        return None
+
     def topological_order(self) -> List[str]:
         """Kahn's algorithm; raises on cycles.  Deterministic by insertion order."""
         in_degree = {name: len(self._pred[name]) for name in self._stages}
@@ -202,8 +275,12 @@ class DataFlow:
                 if in_degree[succ] == 0:
                     ready.append(succ)
         if len(order) != len(self._stages):
-            cyclic = sorted(name for name, degree in in_degree.items() if degree > 0)
-            raise DataflowError(f"flow {self.name!r} contains a cycle through {cyclic}")
+            cycle = self.find_cycle() or sorted(
+                name for name, degree in in_degree.items() if degree > 0
+            )
+            raise DataflowError(
+                f"flow {self.name!r} contains a cycle: {' -> '.join(cycle)}"
+            )
         return order
 
     def levels(self) -> List[List[str]]:

@@ -36,6 +36,13 @@ class MovementJob:
     attempts: int = 0
 
 
+#: Default seed for the mover's transient-failure RNG when the caller
+#: does not supply one.  Explicit so a bare ``GridMover`` replays the
+#: same failure sequence every run; tests that want variation pass
+#: ``random.Random(seed)``.
+DEFAULT_MOVER_SEED = 0
+
+
 class GridMover:
     """Plans and executes queued movement jobs with transient-failure retry."""
 
@@ -51,7 +58,7 @@ class GridMover:
         self.planner = planner
         self.failure_prob = failure_prob
         self.max_attempts = max_attempts
-        self.rng = rng if rng is not None else random.Random(0)
+        self.rng = rng if rng is not None else random.Random(DEFAULT_MOVER_SEED)
         self.queue: List[MovementJob] = []
         self.completed: List[MovementJob] = []
 

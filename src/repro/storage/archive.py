@@ -58,6 +58,13 @@ class AgingReport:
     files_degraded: List[str] = field(default_factory=list)
 
 
+#: Default seed for an archive's media-failure RNG when the caller does
+#: not supply one.  Explicit so standalone archives are reproducible by
+#: default; runs that need independent streams pass their own
+#: ``random.Random(seed)``.
+DEFAULT_ARCHIVE_SEED = 0
+
+
 class LongTermArchive:
     """Versioned, fixity-checked archival storage across media generations."""
 
@@ -76,7 +83,7 @@ class LongTermArchive:
         self.media_type = media_type
         self.copies = copies
         self.personnel = personnel if personnel is not None else PersonnelModel()
-        self.rng = rng if rng is not None else random.Random(0)
+        self.rng = rng if rng is not None else random.Random(DEFAULT_ARCHIVE_SEED)
         self.catalog = FileCatalog()
         self.ledger = CostLedger()
         self.metrics = MetricsRegistry()

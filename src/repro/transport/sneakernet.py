@@ -159,6 +159,12 @@ class LaneStats:
         )
 
 
+#: Default seed for a lane's damage/transit RNG when the caller does not
+#: supply one.  Explicit so a standalone lane replays the same damage
+#: sequence every run; the pipelines pass ``random.Random(config.seed)``.
+DEFAULT_LANE_SEED = 0
+
+
 class ShippingLane:
     """A recurring physical-transport operation between two sites.
 
@@ -178,7 +184,7 @@ class ShippingLane:
     ):
         self.spec = spec
         self.personnel = personnel if personnel is not None else PersonnelModel()
-        self.rng = rng if rng is not None else random.Random(0)
+        self.rng = rng if rng is not None else random.Random(DEFAULT_LANE_SEED)
         self.ledger = CostLedger()
         self.metrics = MetricsRegistry()
         self._telemetry = telemetry if telemetry is not None else get_telemetry()

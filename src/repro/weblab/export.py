@@ -81,7 +81,7 @@ def export_subset(
 
     selected = {(row["url"], row["crawl_index"]) for row in rows}
     selected_urls_by_crawl: dict = {}
-    for url, crawl_index in selected:
+    for url, crawl_index in sorted(selected):
         selected_urls_by_crawl.setdefault(crawl_index, set()).add(url)
 
     links_path = directory / f"{name}-links.tsv.gz"

@@ -233,7 +233,7 @@ class PreloadSubsystem:
             except WebLabError:
                 pass
         before = self.lifetime_stats
-        start = time.perf_counter()
+        start = time.perf_counter()  # repro: noqa[RPR002] operational counter only
         with ThreadPoolExecutor(max_workers=self.config.workers) as pool:
             arc_futures = [
                 pool.submit(self.process_arc, path, index) for path, index in arc_paths
@@ -246,7 +246,7 @@ class PreloadSubsystem:
             for future in dat_futures:
                 future.result()
         self.metrics.counter("preload.elapsed_s").inc(
-            time.perf_counter() - start + delay_seconds(injected)
+            time.perf_counter() - start + delay_seconds(injected)  # repro: noqa[RPR002]
         )
         return self.lifetime_stats - before
 

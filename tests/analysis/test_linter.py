@@ -1,0 +1,217 @@
+"""The lint framework itself: registry, suppression, reporters, CLI."""
+
+import json
+
+import pytest
+
+from repro.analysis.linter import (
+    PARSE_ERROR_CODE,
+    Finding,
+    ImportMap,
+    Linter,
+    ModuleSource,
+    Rule,
+    register,
+    registered_rules,
+    render_text,
+    report_dict,
+    summary_counts,
+    unsuppressed,
+)
+
+
+def lint_source(tmp_path, source, name="mod.py", **linter_kwargs):
+    path = tmp_path / name
+    path.write_text(source, encoding="utf-8")
+    return Linter(**linter_kwargs).lint_file(path)
+
+
+class TestRegistry:
+    def test_all_shipped_rules_registered(self):
+        codes = [cls.code for cls in registered_rules()]
+        assert codes == ["RPR001", "RPR002", "RPR003", "RPR004", "RPR005"]
+
+    def test_rules_have_names_and_descriptions(self):
+        for cls in registered_rules():
+            assert cls.name and cls.description
+
+    def test_invalid_code_rejected(self):
+        class Bad(Rule):
+            code = "XXX1"
+
+        with pytest.raises(ValueError, match="invalid code"):
+            register(Bad)
+
+    def test_conflicting_code_rejected(self):
+        class Imposter(Rule):
+            code = "RPR001"
+
+        with pytest.raises(ValueError, match="already registered"):
+            register(Imposter)
+
+    def test_select_unknown_code_rejected(self):
+        with pytest.raises(ValueError, match="RPR999"):
+            Linter(select=["RPR999"])
+
+    def test_select_restricts_rules(self):
+        linter = Linter(select=["RPR002"])
+        assert [rule.code for rule in linter.rules] == ["RPR002"]
+
+
+class TestSuppression:
+    def test_noqa_comment_parsed(self, tmp_path):
+        path = tmp_path / "m.py"
+        path.write_text(
+            "x = 1  # repro: noqa[RPR001, RPR002]\ny = 2\n", encoding="utf-8"
+        )
+        module = ModuleSource.read(path)
+        assert module.suppressed_codes(1) == frozenset({"RPR001", "RPR002"})
+        assert module.suppressed_codes(2) == frozenset()
+
+    def test_noqa_silences_but_still_collects(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "import random\n"
+            "rng = random.Random()  # repro: noqa[RPR001]\n",
+        )
+        assert len(findings) == 1
+        assert findings[0].suppressed
+        assert findings[0].suppression == "noqa"
+        assert unsuppressed(findings) == []
+
+    def test_noqa_for_other_code_does_not_silence(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "import random\n"
+            "rng = random.Random()  # repro: noqa[RPR002]\n",
+        )
+        assert [f.suppressed for f in findings] == [False]
+
+
+class TestLinting:
+    def test_syntax_error_becomes_rpr000(self, tmp_path):
+        findings = lint_source(tmp_path, "def broken(:\n")
+        assert [f.code for f in findings] == [PARSE_ERROR_CODE]
+        assert not findings[0].suppressed
+
+    def test_lint_paths_recurses_deterministically(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "b.py").write_text(
+            "import random\nrandom.random()\n", encoding="utf-8"
+        )
+        (tmp_path / "pkg" / "a.py").write_text(
+            "import random\nrandom.random()\n", encoding="utf-8"
+        )
+        findings = Linter().lint_paths([tmp_path])
+        assert len(findings) == 2
+        assert findings[0].path.endswith("a.py")
+        assert findings[1].path.endswith("b.py")
+
+    def test_findings_sorted_by_position(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "import random\nimport time\n"
+            "time.time()\n"
+            "random.random()\n",
+        )
+        assert [f.line for f in findings] == [3, 4]
+
+
+class TestReporters:
+    def test_render_text_hides_suppressed_by_default(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "import random\n"
+            "random.random()\n"
+            "random.random()  # repro: noqa[RPR001]\n",
+        )
+        text = render_text(findings)
+        assert "1 finding (1 suppressed)" in text
+        assert "noqa" not in text
+        shown = render_text(findings, show_suppressed=True)
+        assert "(suppressed: noqa)" in shown
+
+    def test_report_dict_roundtrips_json(self, tmp_path):
+        findings = lint_source(tmp_path, "import time\ntime.time()\n")
+        report = json.loads(json.dumps(report_dict(findings, ["x"])))
+        assert report["ok"] is False
+        assert report["paths"] == ["x"]
+        assert report["summary"]["RPR002"] == {"flagged": 1, "suppressed": 0}
+
+    def test_summary_counts_split(self):
+        findings = [
+            Finding("RPR001", "r", "m", "p", 1, 0),
+            Finding("RPR001", "r", "m", "p", 2, 0, suppressed=True, suppression="noqa"),
+        ]
+        assert summary_counts(findings) == {
+            "RPR001": {"flagged": 1, "suppressed": 1}
+        }
+
+
+class TestImportMap:
+    def resolve(self, source, expr_source):
+        module = ModuleSource("m.py", source + "\n" + expr_source + "\n")
+        expr = module.tree.body[-1].value
+        return ImportMap(module.tree).resolve(expr)
+
+    def test_aliased_module(self):
+        assert (
+            self.resolve("import numpy as np", "np.random.default_rng")
+            == "numpy.random.default_rng"
+        )
+
+    def test_from_import(self):
+        assert self.resolve("from random import Random", "Random") == "random.Random"
+
+    def test_local_name_not_resolved(self):
+        assert self.resolve("rng = object()", "rng.random") is None
+
+
+class TestCli:
+    def run(self, *argv):
+        from repro.analysis.__main__ import main
+
+        return main(list(argv))
+
+    def test_exit_zero_on_clean_tree(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n", encoding="utf-8")
+        assert self.run(str(tmp_path)) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_exit_one_on_findings(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(
+            "import time\ntime.time()\n", encoding="utf-8"
+        )
+        assert self.run(str(tmp_path)) == 1
+        assert "RPR002" in capsys.readouterr().out
+
+    def test_json_report_written(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(
+            "import random\nrandom.random()\n", encoding="utf-8"
+        )
+        out = tmp_path / "report.json"
+        assert self.run(str(tmp_path), "--json-report", str(out)) == 1
+        report = json.loads(out.read_text(encoding="utf-8"))
+        assert report["ok"] is False
+        assert report["summary"]["RPR001"]["flagged"] == 1
+        capsys.readouterr()
+
+    def test_flowcheck_flag_reports_figures(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n", encoding="utf-8")
+        assert self.run(str(tmp_path), "--flowcheck") == 0
+        out = capsys.readouterr().out
+        assert "arecibo-figure1: ok" in out
+        assert "cleo-figure2: ok" in out
+
+    def test_list_rules(self, capsys):
+        assert self.run("--list-rules") == 0
+        out = capsys.readouterr().out
+        for code in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005"):
+            assert code in out
+
+    def test_select_filters(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text(
+            "import random\nrandom.random()\n", encoding="utf-8"
+        )
+        assert self.run(str(tmp_path), "--select", "RPR002") == 0
+        capsys.readouterr()

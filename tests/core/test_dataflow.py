@@ -67,6 +67,40 @@ class TestDataFlowStructure:
         with pytest.raises(DataflowError, match="cycle"):
             flow.topological_order()
 
+    def test_errors_name_the_flow_and_offenders(self):
+        """Every structural raise carries the flow name and the stage/edge."""
+        flow = DataFlow("palfa")
+        flow.stage("a", passthrough)
+        with pytest.raises(DataflowError, match=r"'palfa'.*'missing'.*'a' -> 'missing'"):
+            flow.connect("a", "missing")
+        with pytest.raises(DataflowError, match=r"'palfa'.*self-loop.*'a'"):
+            flow.connect("a", "a")
+        flow.stage("b", passthrough)
+        flow.connect("a", "b")
+        with pytest.raises(DataflowError, match=r"'palfa'.*duplicate edge 'a' -> 'b'"):
+            flow.connect("a", "b")
+        with pytest.raises(DataflowError, match=r"'palfa'.*chain.*one entry per edge"):
+            flow.chain("a", "b", labels=["x", "y"])
+
+    def test_cycle_error_names_the_cycle_path(self):
+        flow = DataFlow("loopy")
+        for name in "abc":
+            flow.stage(name, passthrough)
+        flow.connect("a", "b")
+        flow.connect("b", "c")
+        flow.connect("c", "a")
+        with pytest.raises(DataflowError, match="'loopy'.*cycle: a -> b -> c -> a"):
+            flow.validate()
+
+    def test_find_cycle(self):
+        flow = DataFlow("f")
+        for name in "abcd":
+            flow.stage(name, passthrough)
+        flow.chain("a", "b", "c")
+        assert flow.find_cycle() is None
+        flow.connect("c", "b")
+        assert flow.find_cycle() == ["b", "c", "b"]
+
     def test_topological_order_respects_edges(self):
         flow = DataFlow("f")
         for name in ("acquire", "process", "archive", "db"):

@@ -277,6 +277,47 @@ class TestJsonlPersistence:
         with pytest.raises(TelemetryError):
             read_event_log(path)
 
+    def test_roundtrip_with_fault_retry_degraded_kinds(self, tmp_path):
+        """Logs carrying the recovery-era event kinds survive the
+        write/read cycle exactly, and strip_wall_clock leaves their
+        payloads (kind, name, attrs, sim time, seq) untouched."""
+        bus = Telemetry()
+        bus.emit(
+            "fault.injected",
+            "arecibo-figure1/process",
+            scope="stage",
+            fault_kind="crash",
+            site="CTC/PALFA",
+        )
+        bus.clock.advance(1.0)
+        bus.emit(
+            "stage.retry", "process", attempt=2.0, backoff_seconds=4.0
+        )
+        bus.emit(
+            "stage.degraded",
+            "arecibo-figure1/p0003/b5",
+            reason="beam culled",
+        )
+        bus.emit("stage.dead_letter", "process", attempts=3.0)
+        path = tmp_path / "faulty.jsonl"
+        assert write_event_log(path, bus) == 4
+        restored = read_event_log(path)
+        assert restored == bus.events()
+        stripped = strip_wall_clock(restored)
+        assert [event["kind"] for event in stripped] == [
+            "fault.injected",
+            "stage.retry",
+            "stage.degraded",
+            "stage.dead_letter",
+        ]
+        assert all("wall_time" not in event for event in stripped)
+        attrs = [dict(event["attrs"]) for event in stripped]
+        assert attrs[0]["fault_kind"] == "crash"
+        assert attrs[1]["attempt"] == 2.0
+        assert attrs[2]["reason"] == "beam culled"
+        assert [event["seq"] for event in stripped] == [0, 1, 2, 3]
+        assert stripped == strip_wall_clock(bus.events())
+
 
 class TestLogViews:
     def run_flow(self):
