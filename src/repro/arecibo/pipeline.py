@@ -11,10 +11,9 @@ and processor requirements the paper quotes come out of the run report.
 from __future__ import annotations
 
 import random
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Tuple, Union
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -33,8 +32,9 @@ from repro.arecibo.telescope import ObservationConfig, ObservationSimulator
 from repro.core.dataflow import DataFlow, StageFn, structural_stub
 from repro.core.dataset import Dataset
 from repro.core.engine import Engine, FlowReport
-from repro.core.faults import FaultInjector, FaultPlan, FaultRecord
+from repro.core.faults import FaultInjector, FaultPlan
 from repro.core.recovery import RetryPolicy
+from repro.core.shards import SharedArray
 from repro.core.stagecache import StageCache
 from repro.core.telemetry import write_event_log
 from repro.core.units import DataSize, Duration
@@ -68,8 +68,11 @@ class AreciboPipelineConfig:
     # Parallelism: engine stage concurrency and per-pointing fan-out inside
     # the dominant `process` stage.  Results are identical for any value;
     # every pointing draws from its own deterministic RNG and the merge
-    # happens in pointing order.
+    # happens in pointing order.  ``executor`` picks where the fan-out
+    # runs: ``"thread"`` (default) or ``"process"`` — worker processes fed
+    # filterbank blocks through shared memory, the paper's farm model.
     workers: int = 1
+    executor: str = "thread"
     seed: int = 7
 
 
@@ -131,11 +134,12 @@ def _cache_fingerprint(config: AreciboPipelineConfig) -> Dict[str, object]:
     """Stage ``cache_params`` for the Figure-1 flow.
 
     The whole config is folded in — any parameter change invalidates every
-    stage — except ``workers``: stage outputs are byte-identical across
-    worker counts (the determinism contract the parallel suite pins), so a
-    cache primed sequentially must service a parallel rerun.
+    stage — except ``workers`` and ``executor``: stage outputs are
+    byte-identical across worker counts and executors (the determinism
+    contract the three-way suite pins), so a cache primed sequentially
+    must service threaded and process-sharded reruns alike.
     """
-    return {"pipeline": repr(replace(config, workers=1))}
+    return {"pipeline": repr(replace(config, workers=1, executor="thread"))}
 
 
 def figure1_flow(
@@ -181,6 +185,138 @@ def figure1_flow(
     return flow
 
 
+# -- the per-pointing search shard ----------------------------------------
+# Module-level (not a closure) so it can cross a process boundary under
+# ``executor="process"``; everything it needs travels in the task tuple.
+# Fault evaluation does NOT happen here — the parent evaluates beam-scope
+# faults in canonical (pointing-major, beam-minor) order before dispatch
+# and passes the culled beam ids in, so injector state never has to cross
+# into (or back out of) a worker process.
+
+#: One beam's data as it travels to a shard: a :class:`Filterbank` for
+#: in-process execution, or ``(meta dict, SharedArray)`` when the block
+#: crosses a process boundary through shared memory.
+_BeamPayload = Union[Filterbank, Tuple[Dict[str, object], SharedArray]]
+
+
+def _beam_filterbank(payload: "_BeamPayload") -> Filterbank:
+    if isinstance(payload, Filterbank):
+        return payload
+    meta, shared = payload
+    # float32 in, float32 out: the Filterbank constructor's asarray is a
+    # zero-copy view over the shared segment.
+    return Filterbank(data=shared.array, **meta)  # type: ignore[arg-type]
+
+
+def _search_pointing_shard(
+    task: Tuple[
+        AreciboPipelineConfig,
+        Pointing,
+        Sequence["_BeamPayload"],
+        FrozenSet[int],
+    ],
+):
+    """Search one pointing: all seven beams plus the multibeam culls.
+
+    Self-contained and deterministic: the RNG is derived from the run
+    seed and the pointing id, never shared across pointings, so the
+    per-pointing results are identical whether pointings run serially,
+    on a thread pool, or in worker processes.  ``culled`` beams (decided
+    by the parent's fault evaluation) keep their slot in the multibeam
+    grid as an empty candidate list — they can neither detect nor veto —
+    and consume no RNG draws, exactly as under in-line execution.
+    """
+    config, pointing, payloads, culled = task
+    rng = np.random.default_rng((config.seed + 1, pointing.pointing_id))
+    presift = 0
+    dedispersed_total = DataSize.zero()
+    per_beam_sifted: List[List] = []
+    per_beam_transients: List[Tuple[int, List[SinglePulseEvent]]] = []
+    grid: Optional[DMGrid] = None
+    for payload in payloads:
+        filterbank = _beam_filterbank(payload)
+        if filterbank.beam in culled:
+            # Graceful degradation, the survey's real procedure: a beam
+            # whose data are unusable (bad disk, bad tape) is culled from
+            # the pointing and recorded; the other six beams still get
+            # searched.
+            per_beam_sifted.append([])
+            per_beam_transients.append((filterbank.beam, []))
+            continue
+        cleaned, _ = clean_filterbank(filterbank, rng=rng)
+        if grid is None:
+            grid = DMGrid.matched(cleaned, config.dm_max)
+        block = dedisperse_all(cleaned, grid)
+        dedispersed_total += dedispersed_size(cleaned, grid)
+        raw_candidates = search_dm_block(
+            block,
+            grid.trials,
+            cleaned.tsamp_s,
+            snr_threshold=config.snr_threshold,
+            pointing_id=pointing.pointing_id,
+            beam=filterbank.beam,
+        )
+        presift += len(raw_candidates)
+        if config.accel_trials > 1:
+            trials = acceleration_trials(config.accel_max_ms2, config.accel_trials)
+            for row_index in range(0, len(grid.trials), config.accel_dm_stride):
+                for trial in trials:
+                    if trial == 0.0:
+                        continue  # already searched above
+                    resampled = resample_for_acceleration(
+                        block[row_index], cleaned.tsamp_s, trial
+                    )
+                    accel_candidates = search_spectrum(
+                        resampled,
+                        cleaned.tsamp_s,
+                        grid.trials[row_index],
+                        snr_threshold=config.snr_threshold,
+                        accel_ms2=trial,
+                        pointing_id=pointing.pointing_id,
+                        beam=filterbank.beam,
+                    )
+                    presift += len(accel_candidates)
+                    raw_candidates.extend(accel_candidates)
+        per_beam_sifted.append(sift(raw_candidates))
+        # Transient search: boxcar ladder over a DM-grid subset,
+        # keeping each beam's best detection per time cluster.
+        beam_events: dict = {}
+        for row_index in range(0, len(grid.trials), config.single_pulse_dm_stride):
+            for event in search_single_pulses(
+                block[row_index], cleaned.tsamp_s,
+                grid.trials[row_index],
+                snr_threshold=config.single_pulse_threshold,
+            ):
+                key = round(event.time_s, 2)
+                current = beam_events.get(key)
+                if current is None or event.snr > current.snr:
+                    beam_events[key] = event
+        per_beam_transients.append((filterbank.beam, list(beam_events.values())))
+    multibeam = multibeam_coincidence(
+        per_beam_sifted, max_beams=config.multibeam_max
+    )
+    # Transient multibeam cull: an impulse seen simultaneously in more
+    # than `transient_max_beams` *other* beams is broadband local RFI.
+    # Survivors record the telescope beam id carried by the filterbank,
+    # matching how sifted candidates record theirs.
+    transient_survivors: List[Tuple[int, int, SinglePulseEvent]] = []
+    for beam, events in per_beam_transients:
+        for event in events:
+            other_beams_seen = sum(
+                1
+                for other_beam, other_events in per_beam_transients
+                if other_beam != beam
+                and any(
+                    abs(other_event.time_s - event.time_s)
+                    <= max(other_event.width_s, event.width_s)
+                    for other_event in other_events
+                )
+            )
+            if other_beams_seen <= config.transient_max_beams:
+                transient_survivors.append((pointing.pointing_id, beam, event))
+    return presift, dedispersed_total, multibeam, transient_survivors
+
+
 def run_arecibo_pipeline(
     workdir: Union[str, Path],
     config: Optional[AreciboPipelineConfig] = None,
@@ -223,6 +359,7 @@ def run_arecibo_pipeline(
         cache=cache,
         retry=retry,
         faults=faults,
+        executor=config.executor,
     )
     injector: Optional[FaultInjector] = engine.faults
 
@@ -292,173 +429,90 @@ def run_arecibo_pipeline(
         ctx.stash["cartridges"] = library.cartridge_count
         return shipped.derive("archived-raw", shipped.size)
 
-    def process_pointing(pointing, observations):
-        """Search one pointing: all seven beams plus the multibeam culls.
+    def process(inputs, ctx):
+        """Per-beam excision, dedispersion, Fourier search; multibeam cull.
 
-        Self-contained and deterministic: the RNG is derived from the run
-        seed and the pointing id, never shared across pointings, so the
-        per-pointing results are identical whether pointings run serially
-        or fanned out across a thread pool.  Beam-scope fault checks are
-        keyed per ``(pointing, beam)`` target, so the injector's decisions
-        are thread-order independent too.
+        Pointings are independent, so with ``config.workers > 1`` they fan
+        out across the engine's shard pool — threads or worker processes
+        per ``config.executor`` — and results merge in pointing order
+        either way, keeping the stage output byte-identical for any worker
+        count and executor.  Beam-scope faults are evaluated *here*, in
+        canonical pointing-major/beam-minor order (identical to sequential
+        execution), so injector state never crosses a process boundary;
+        shards receive only the resulting culled-beam sets.  Under the
+        process executor, filterbank blocks travel through shared memory
+        instead of the pickle pipe.
         """
-        rng = np.random.default_rng((config.seed + 1, pointing.pointing_id))
-        presift = 0
-        dedispersed_total = DataSize.zero()
-        per_beam_sifted: List[List] = []
-        per_beam_transients: List[Tuple[int, List[SinglePulseEvent]]] = []
-        grid: Optional[DMGrid] = None
-        culls: List[Tuple[int, int]] = []
-        fault_records: List[FaultRecord] = []
-        for filterbank in observations[pointing.pointing_id]:
-            if injector is not None:
+        observations = ctx.dep_stash("acquire")["observations"]
+
+        beam_culls: List[Tuple[int, int]] = []
+        culled_by_pointing: Dict[int, FrozenSet[int]] = {}
+        for pointing in pointings:
+            culled: List[int] = []
+            for filterbank in observations[pointing.pointing_id]:
+                if injector is None:
+                    continue
                 records = injector.fire(
                     "beam",
                     f"arecibo-figure1/p{pointing.pointing_id:04d}"
                     f"/b{filterbank.beam}",
                     site="CTC/PALFA",
                 )
-                fault_records.extend(records)
+                ctx.record_faults(records)
                 if any(record.kind == "drop" for record in records):
-                    # Graceful degradation, the survey's real procedure: a
-                    # beam whose data are unusable (bad disk, bad tape) is
-                    # culled from the pointing and recorded; the other six
-                    # beams still get searched.  The culled beam keeps its
-                    # slot in the multibeam grid as an empty candidate
-                    # list — it can neither detect nor veto.
-                    culls.append((pointing.pointing_id, filterbank.beam))
-                    per_beam_sifted.append([])
-                    per_beam_transients.append((filterbank.beam, []))
-                    continue
-            cleaned, _ = clean_filterbank(filterbank, rng=rng)
-            if grid is None:
-                grid = DMGrid.matched(cleaned, config.dm_max)
-            block = dedisperse_all(cleaned, grid)
-            dedispersed_total += dedispersed_size(cleaned, grid)
-            raw_candidates = search_dm_block(
-                block,
-                grid.trials,
-                cleaned.tsamp_s,
-                snr_threshold=config.snr_threshold,
-                pointing_id=pointing.pointing_id,
-                beam=filterbank.beam,
-            )
-            presift += len(raw_candidates)
-            if config.accel_trials > 1:
-                trials = acceleration_trials(
-                    config.accel_max_ms2, config.accel_trials
-                )
-                for row_index in range(0, len(grid.trials), config.accel_dm_stride):
-                    for trial in trials:
-                        if trial == 0.0:
-                            continue  # already searched above
-                        resampled = resample_for_acceleration(
-                            block[row_index], cleaned.tsamp_s, trial
-                        )
-                        accel_candidates = search_spectrum(
-                            resampled,
-                            cleaned.tsamp_s,
-                            grid.trials[row_index],
-                            snr_threshold=config.snr_threshold,
-                            accel_ms2=trial,
-                            pointing_id=pointing.pointing_id,
-                            beam=filterbank.beam,
-                        )
-                        presift += len(accel_candidates)
-                        raw_candidates.extend(accel_candidates)
-            per_beam_sifted.append(sift(raw_candidates))
-            # Transient search: boxcar ladder over a DM-grid subset,
-            # keeping each beam's best detection per time cluster.
-            beam_events: dict = {}
-            for row_index in range(0, len(grid.trials),
-                                   config.single_pulse_dm_stride):
-                for event in search_single_pulses(
-                    block[row_index], cleaned.tsamp_s,
-                    grid.trials[row_index],
-                    snr_threshold=config.single_pulse_threshold,
-                ):
-                    key = round(event.time_s, 2)
-                    current = beam_events.get(key)
-                    if current is None or event.snr > current.snr:
-                        beam_events[key] = event
-            per_beam_transients.append(
-                (filterbank.beam, list(beam_events.values()))
-            )
-        multibeam = multibeam_coincidence(
-            per_beam_sifted, max_beams=config.multibeam_max
-        )
-        # Transient multibeam cull: an impulse seen simultaneously in more
-        # than `transient_max_beams` *other* beams is broadband local RFI.
-        # Survivors record the telescope beam id carried by the filterbank,
-        # matching how sifted candidates record theirs.
-        transient_survivors: List[Tuple[int, int, SinglePulseEvent]] = []
-        for beam, events in per_beam_transients:
-            for event in events:
-                other_beams_seen = sum(
-                    1
-                    for other_beam, other_events in per_beam_transients
-                    if other_beam != beam
-                    and any(
-                        abs(other_event.time_s - event.time_s)
-                        <= max(other_event.width_s, event.width_s)
-                        for other_event in other_events
+                    culled.append(filterbank.beam)
+                    beam_culls.append((pointing.pointing_id, filterbank.beam))
+            culled_by_pointing[pointing.pointing_id] = frozenset(culled)
+
+        shared_handles: List[SharedArray] = []
+        try:
+            tasks = []
+            for pointing in pointings:
+                payloads: List[_BeamPayload] = []
+                for filterbank in observations[pointing.pointing_id]:
+                    if ctx.shard_executor == "process":
+                        shared = SharedArray.copy_from(filterbank.data)
+                        shared_handles.append(shared)
+                        meta = {
+                            "freq_low_mhz": filterbank.freq_low_mhz,
+                            "freq_high_mhz": filterbank.freq_high_mhz,
+                            "tsamp_s": filterbank.tsamp_s,
+                            "pointing_id": filterbank.pointing_id,
+                            "beam": filterbank.beam,
+                        }
+                        payloads.append((meta, shared))
+                    else:
+                        payloads.append(filterbank)
+                tasks.append(
+                    (
+                        config,
+                        pointing,
+                        payloads,
+                        culled_by_pointing[pointing.pointing_id],
                     )
                 )
-                if other_beams_seen <= config.transient_max_beams:
-                    transient_survivors.append(
-                        (pointing.pointing_id, beam, event)
-                    )
-        return (
-            presift,
-            dedispersed_total,
-            multibeam,
-            transient_survivors,
-            culls,
-            fault_records,
-        )
-
-    def process(inputs, ctx):
-        """Per-beam excision, dedispersion, Fourier search; multibeam cull.
-
-        Pointings are independent, so with ``config.workers > 1`` they fan
-        out across a thread pool; results merge in pointing order either
-        way, keeping the stage output byte-identical for any worker count.
-        """
-        observations = ctx.dep_stash("acquire")["observations"]
-
-        def search_pointing(pointing):
-            return process_pointing(pointing, observations)
-
-        if config.workers > 1:
-            with ThreadPoolExecutor(max_workers=config.workers) as pool:
-                pointing_results = list(pool.map(search_pointing, pointings))
-        else:
-            pointing_results = [search_pointing(p) for p in pointings]
+            pointing_results = ctx.map_shards(_search_pointing_shard, tasks)
+        finally:
+            for shared in shared_handles:
+                shared.close()
+                shared.unlink()
 
         presift = 0
         dedispersed_total = DataSize.zero()
         all_sifted: List[SiftedCandidate] = []
         rejected = 0
         transient_survivors: List[Tuple[int, int, SinglePulseEvent]] = []
-        beam_culls: List[Tuple[int, int]] = []
         for (
             pointing_presift,
             pointing_dedisp,
             multibeam,
             survivors,
-            culls,
-            fault_records,
         ) in pointing_results:
             presift += pointing_presift
             dedispersed_total += pointing_dedisp
             rejected += multibeam.rejection_count
             all_sifted.extend(multibeam.accepted)
             transient_survivors.extend(survivors)
-            beam_culls.extend(culls)
-            # Beam faults fired on worker threads; folding them into the
-            # stage accounting here, in pointing order, keeps the replayed
-            # telemetry stream identical for any worker count.
-            ctx.record_faults(fault_records)
         ctx.stash["presift"] = presift
         ctx.stash["sifted"] = all_sifted
         ctx.stash["dedispersed"] = dedispersed_total

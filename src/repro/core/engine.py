@@ -15,6 +15,13 @@ Two execution strategies share all of that accounting:
 * ``Engine(max_workers=N)`` / :class:`ParallelEngine` runs independent
   stages concurrently on a thread pool — the paper's "50 to 200
   processors" argument, exercised instead of merely quoted.
+* ``Engine(max_workers=N, executor="process")`` / :class:`ProcessEngine`
+  additionally moves the data-parallel inner loops of transforms — the
+  shards a stage routes through ``StageContext.map_shards`` — onto worker
+  processes, the paper's farm model (a central store feeding independent
+  reconstruction/search workers).  Stage scheduling itself stays on
+  threads; large arrays cross the process boundary via shared memory and
+  child telemetry is forwarded home in shard order.
 
 Parallel execution preserves *exact* sequential semantics:
 
@@ -73,10 +80,16 @@ from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.core.dataflow import DataFlow, Stage
 from repro.core.dataset import Dataset
-from repro.core.errors import ExecutionError, InjectedFault, ProvenanceError
+from repro.core.errors import (
+    ExecutionError,
+    InjectedFault,
+    ProvenanceError,
+    UnverifiableInputError,
+)
 from repro.core.faults import FaultInjector, FaultPlan, FaultRecord, delay_seconds
 from repro.core.provenance import ProcessingStep, ProvenanceStore
 from repro.core.recovery import NO_RETRY, DeadLetter, RetryPolicy
+from repro.core.shards import ShardPool
 from repro.core.stagecache import CachedStage, StageCache, stage_key
 from repro.core.telemetry import (
     Telemetry,
@@ -252,6 +265,28 @@ class StageContext:
         """Let a stage report extra simulated CPU work beyond the size model."""
         self._extra_cpu_seconds += duration.seconds
 
+    @property
+    def shard_executor(self) -> str:
+        """Where :meth:`map_shards` will run: ``serial``/``thread``/``process``.
+
+        Transforms consult this to decide how to package shard inputs —
+        e.g. wrapping large arrays in
+        :class:`~repro.core.shards.SharedArray` only when they are about
+        to cross a process boundary.
+        """
+        return self.engine.shard_executor
+
+    def map_shards(self, fn, items):
+        """Fan ``fn`` out over ``items`` on the engine's shard pool.
+
+        Results return in item order for every executor, so a transform
+        that merges positionally stays byte-identical across sequential,
+        threaded, and process runs.  Under ``executor="process"``, ``fn``
+        and each item must be picklable (module-level functions, plain
+        data); telemetry the shards emit is forwarded home in item order.
+        """
+        return self.engine.map_shards(fn, items)
+
     def fault_fires(self, scope: str, target: str, site: str = "") -> List[FaultRecord]:
         """Evaluate an in-transform injection point; record what fired.
 
@@ -362,9 +397,15 @@ class Engine:
         cache: Optional[StageCache] = None,
         retry: Optional[RetryPolicy] = None,
         faults: Optional[Union[FaultPlan, FaultInjector]] = None,
+        executor: str = "thread",
     ):
         if max_workers < 1:
             raise ExecutionError("engine", f"max_workers must be >= 1, got {max_workers}")
+        if executor not in ("thread", "process"):
+            raise ExecutionError(
+                "engine",
+                f"executor must be 'thread' or 'process', got {executor!r}",
+            )
         self.provenance = provenance if provenance is not None else ProvenanceStore()
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.cache = cache
@@ -378,10 +419,39 @@ class Engine:
         self.dead_letters: List[DeadLetter] = []
         self._seed = seed
         self._max_workers = int(max_workers)
+        self._executor = executor
+        self._shard_pool: Optional[ShardPool] = None
 
     @property
     def max_workers(self) -> int:
         return self._max_workers
+
+    @property
+    def executor(self) -> str:
+        """The shard executor this engine fans transform work out on."""
+        return self._executor
+
+    @property
+    def shard_executor(self) -> str:
+        """Effective executor for :meth:`map_shards` (``serial`` when
+        ``max_workers == 1``)."""
+        if self._max_workers == 1:
+            return "serial"
+        return self._executor
+
+    def map_shards(self, fn, items) -> List:
+        """Fan ``fn`` over ``items`` on this run's shard pool, item-ordered.
+
+        Stage *scheduling* always stays on threads (transforms are
+        closures over live pipeline state and cannot cross a process
+        boundary); what ``executor="process"`` moves to worker processes
+        is this call — the data-parallel inner loop of a transform, whose
+        shard functions are module-level and picklable.  Outside a run
+        (no pool), shards execute inline.
+        """
+        if self._shard_pool is None:
+            return [fn(item) for item in items]
+        return self._shard_pool.map(fn, items)
 
     def run(
         self,
@@ -403,10 +473,21 @@ class Engine:
         # is numbered identically regardless of execution strategy.
         reserved = {name: self.provenance.reserve_id() for name in order}
         stashes: Dict[str, Mapping[str, object]] = {}
-        if self._max_workers == 1:
-            results = self._execute_sequential(flow, order, seeds, reserved, stashes)
-        else:
-            results = self._execute_parallel(flow, order, seeds, reserved, stashes)
+        self._shard_pool = ShardPool(
+            executor=self._executor, workers=self._max_workers
+        )
+        try:
+            if self._max_workers == 1:
+                results = self._execute_sequential(
+                    flow, order, seeds, reserved, stashes
+                )
+            else:
+                results = self._execute_parallel(
+                    flow, order, seeds, reserved, stashes
+                )
+        finally:
+            pool, self._shard_pool = self._shard_pool, None
+            pool.close()
         return self._build_report(flow, order, seeds, reserved, results, stashes)
 
     # -- execution ---------------------------------------------------------
@@ -578,13 +659,27 @@ class Engine:
         upstream derivation history (the paper's MD5-comparison test), and
         the size catches seed datasets fed from outside the flow, which
         carry no stamp.
+
+        Two different cases must not be conflated: a dataset with *no*
+        provenance id is a legitimate seed fed from outside the flow
+        (keyed ``"unstamped"``); a dataset that *claims* an id whose
+        digest cannot be resolved has a broken lineage, and keying it
+        ``"unstamped"`` too would let two different datasets collide onto
+        one cache key.  The latter raises
+        :class:`~repro.core.errors.UnverifiableInputError` — the lookup
+        path treats the stage as uncacheable and counts the event.
         """
-        digest = "unstamped"
-        if dataset.provenance_id is not None:
+        if dataset.provenance_id is None:
+            digest = "unstamped"
+        else:
             try:
                 digest = self.provenance.digest_of(dataset.provenance_id)
-            except ProvenanceError:
-                pass
+            except ProvenanceError as exc:
+                raise UnverifiableInputError(
+                    f"input {slot!r} ({_input_descriptor(dataset)}) claims "
+                    f"provenance id {dataset.provenance_id!r} but its stamp "
+                    f"digest cannot be resolved: {exc}"
+                ) from exc
         return f"{slot}={_input_descriptor(dataset)}#{digest}:{dataset.size.bytes!r}"
 
     def _cache_key(
@@ -616,14 +711,20 @@ class Engine:
     ) -> Tuple[Optional[str], Optional[_StageResult]]:
         """Try to service a stage from the cache.
 
-        Returns ``(key, result)``: key is None when no cache is attached;
+        Returns ``(key, result)``: key is None when no cache is attached
+        or the stage is uncacheable (an input's stamp digest cannot be
+        resolved — such stages always execute and are never stored);
         result is None on a miss.  A hit rebuilds a fresh output Dataset
         (re-committed with this run's reserved provenance id) and restores
         the recorded stash.
         """
         if self.cache is None:
             return None, None
-        key = self._cache_key(flow, name, stage_inputs)
+        try:
+            key = self._cache_key(flow, name, stage_inputs)
+        except UnverifiableInputError:
+            self.cache.registry.counter("stage_cache.unverified_inputs").inc()
+            return None, None
         entry = self.cache.lookup(key)
         if entry is None:
             return key, None
@@ -980,6 +1081,7 @@ class ParallelEngine(Engine):
         cache: Optional[StageCache] = None,
         retry: Optional[RetryPolicy] = None,
         faults: Optional[Union[FaultPlan, FaultInjector]] = None,
+        executor: str = "thread",
     ):
         super().__init__(
             provenance=provenance,
@@ -989,4 +1091,42 @@ class ParallelEngine(Engine):
             cache=cache,
             retry=retry,
             faults=faults,
+            executor=executor,
+        )
+
+
+class ProcessEngine(ParallelEngine):
+    """An :class:`Engine` preset that shards transform work across worker
+    *processes* — ``ProcessEngine(max_workers=N)`` ==
+    ``Engine(max_workers=N, executor="process")``.
+
+    Stage scheduling stays on threads (transforms close over live
+    pipeline state); the data-parallel inner loops that transforms route
+    through :meth:`StageContext.map_shards` — per-pointing searches,
+    per-run reconstruction batches, per-snapshot packing — run in a
+    ``ProcessPoolExecutor``, with large arrays crossing via shared memory
+    and child telemetry forwarded home in shard order.  The determinism
+    contract is unchanged: reports, provenance, and canonical event logs
+    are byte-identical to sequential and thread-parallel runs.
+    """
+
+    def __init__(
+        self,
+        provenance: Optional[ProvenanceStore] = None,
+        seed: int = 0,
+        max_workers: int = 4,
+        telemetry: Optional[Telemetry] = None,
+        cache: Optional[StageCache] = None,
+        retry: Optional[RetryPolicy] = None,
+        faults: Optional[Union[FaultPlan, FaultInjector]] = None,
+    ):
+        super().__init__(
+            provenance=provenance,
+            seed=seed,
+            max_workers=max_workers,
+            telemetry=telemetry,
+            cache=cache,
+            retry=retry,
+            faults=faults,
+            executor="process",
         )

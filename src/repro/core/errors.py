@@ -60,6 +60,21 @@ class CacheError(ReproError):
     """Stage-result cache misuse (bad capacity, malformed entry, ...)."""
 
 
+class UnverifiableInputError(CacheError):
+    """A cache key cannot be computed because an input's stamp digest
+    cannot be resolved.
+
+    Raised when a dataset *claims* a provenance id but the provenance
+    store cannot produce its digest: caching such a result would key two
+    different datasets to the same ``"unstamped"`` descriptor.  The
+    engine treats the stage as uncacheable and carries on.
+    """
+
+
+class ShardError(ReproError):
+    """Shard-pool misuse (unknown executor, closed pool, bad worker count)."""
+
+
 class FaultError(ReproError):
     """Fault-plan or retry-policy misuse (bad spec, invalid bounds, ...)."""
 
@@ -103,3 +118,7 @@ class SearchError(ReproError):
 
 class WebLabError(ReproError):
     """WebLab subsystem failure (malformed ARC/DAT records, ...)."""
+
+
+class DuplicateCrawlError(WebLabError):
+    """A crawl index was registered twice with conflicting metadata."""

@@ -35,9 +35,22 @@ import json
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.dataset import Dataset
+
+if TYPE_CHECKING:
+    from repro.core.cachestore import DiskCacheStore
 from repro.core.errors import CacheError
 from repro.core.telemetry import MetricsRegistry
 from repro.core.units import DataSize
@@ -164,19 +177,57 @@ class StageCache:
         Metrics registry the hit/miss/eviction counters live in; a private
         one is created if not supplied.  Pass the engine's registry to
         surface cache traffic alongside the flow's other instruments.
+    store:
+        Optional :class:`~repro.core.cachestore.DiskCacheStore` backing.
+        With a store, this cache becomes a read-through/write-through L1
+        over a shared on-disk L2: lookups that miss in memory consult the
+        store (a disk hit counts as a hit, plus ``stage_cache.disk_hits``),
+        stores write through (atomic rename; an unpicklable entry degrades
+        that stage to memory-only, counted in
+        ``stage_cache.disk_write_skips``), and in-memory LRU eviction is
+        harmless because the entry survives on disk.  Multiple engines —
+        in one process, many processes, or successive runs — may share one
+        store root; content-addressed keys make racing writers safe.
     """
 
     def __init__(
         self,
         max_entries: Optional[int] = None,
         registry: Optional[MetricsRegistry] = None,
+        store: Optional["DiskCacheStore"] = None,
     ):
         if max_entries is not None and max_entries < 1:
             raise CacheError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = max_entries
         self.registry = registry if registry is not None else MetricsRegistry()
+        self.disk = store
         self._entries: "OrderedDict[str, CachedStage]" = OrderedDict()
         self._lock = threading.Lock()
+
+    @classmethod
+    def on_disk(
+        cls,
+        root: "Union[str, Path]",
+        max_bytes: Optional[int] = None,
+        max_disk_entries: Optional[int] = None,
+        max_entries: Optional[int] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> "StageCache":
+        """A stage cache over a shared on-disk store rooted at ``root``.
+
+        ``max_bytes``/``max_disk_entries`` bound the on-disk store (GC'd
+        oldest-first after each write); ``max_entries`` bounds the
+        in-memory L1 as usual.
+        """
+        from repro.core.cachestore import DiskCacheStore
+
+        return cls(
+            max_entries=max_entries,
+            registry=registry,
+            store=DiskCacheStore(
+                root, max_bytes=max_bytes, max_entries=max_disk_entries
+            ),
+        )
 
     def __len__(self) -> int:
         with self._lock:
@@ -187,18 +238,46 @@ class StageCache:
             return key in self._entries
 
     def lookup(self, key: str) -> Optional[CachedStage]:
-        """Return the entry for ``key`` (marking it recently used), or None."""
+        """Return the entry for ``key`` (marking it recently used), or None.
+
+        With a disk store attached, a memory miss falls through to the
+        store; a disk hit is promoted into the in-memory L1 and counts as
+        a hit (plus ``stage_cache.disk_hits``).
+        """
         with self._lock:
             entry = self._entries.get(key)
-            if entry is None:
-                self.registry.counter("stage_cache.misses").inc()
-                return None
-            self._entries.move_to_end(key)
-            self.registry.counter("stage_cache.hits").inc()
-            return entry
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.registry.counter("stage_cache.hits").inc()
+                return entry
+        if self.disk is not None:
+            from_disk = self.disk.read(key)
+            if isinstance(from_disk, CachedStage):
+                with self._lock:
+                    self._entries[key] = from_disk
+                    self._entries.move_to_end(key)
+                    self._bound_memory_locked()
+                self.registry.counter("stage_cache.hits").inc()
+                self.registry.counter("stage_cache.disk_hits").inc()
+                return from_disk
+        self.registry.counter("stage_cache.misses").inc()
+        return None
+
+    def _bound_memory_locked(self) -> None:
+        """Enforce the in-memory LRU bound; caller holds ``self._lock``."""
+        while self.max_entries is not None and len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.registry.counter("stage_cache.evictions").inc()
+        self.registry.gauge("stage_cache.entries").set(float(len(self._entries)))
 
     def store(self, key: str, entry: CachedStage) -> None:
-        """Insert ``entry``, evicting LRU entries past ``max_entries``."""
+        """Insert ``entry``, evicting LRU entries past ``max_entries``.
+
+        With a disk store attached the entry is also written through
+        (atomic write-then-rename keyed by the content address); an entry
+        whose payload cannot pickle stays memory-only and is counted in
+        ``stage_cache.disk_write_skips``.
+        """
         if not isinstance(entry, CachedStage):
             raise CacheError(
                 f"expected a CachedStage, got {type(entry).__name__}"
@@ -206,22 +285,29 @@ class StageCache:
         with self._lock:
             self._entries[key] = entry
             self._entries.move_to_end(key)
-            while self.max_entries is not None and len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
-                self.registry.counter("stage_cache.evictions").inc()
-            self.registry.gauge("stage_cache.entries").set(float(len(self._entries)))
+            self._bound_memory_locked()
+        if self.disk is not None:
+            if self.disk.write(key, entry):
+                self.registry.counter("stage_cache.disk_writes").inc()
+            else:
+                self.registry.counter("stage_cache.disk_write_skips").inc()
 
     def invalidate(self, key: str) -> bool:
-        """Drop one entry; returns whether it existed."""
+        """Drop one entry from memory and disk; returns whether it existed."""
         with self._lock:
             existed = self._entries.pop(key, None) is not None
             self.registry.gauge("stage_cache.entries").set(float(len(self._entries)))
-            return existed
+        if self.disk is not None:
+            existed = self.disk.delete(key) or existed
+        return existed
 
-    def clear(self) -> None:
+    def clear(self, disk: bool = False) -> None:
+        """Empty the in-memory L1 (and, with ``disk=True``, the store)."""
         with self._lock:
             self._entries.clear()
             self.registry.gauge("stage_cache.entries").set(0.0)
+        if disk and self.disk is not None:
+            self.disk.clear()
 
     # -- counters ---------------------------------------------------------
     @property
@@ -236,12 +322,37 @@ class StageCache:
     def evictions(self) -> int:
         return int(self.registry.value("stage_cache.evictions"))
 
+    @property
+    def disk_hits(self) -> int:
+        """Hits that were serviced from the on-disk store (subset of hits)."""
+        return int(self.registry.value("stage_cache.disk_hits"))
+
+    @property
+    def disk_writes(self) -> int:
+        return int(self.registry.value("stage_cache.disk_writes"))
+
+    @property
+    def disk_write_skips(self) -> int:
+        """Entries that could not pickle and stayed memory-only."""
+        return int(self.registry.value("stage_cache.disk_write_skips"))
+
     def stats(self) -> Dict[str, int]:
         return {
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
             "entries": len(self),
+        }
+
+    def disk_stats(self) -> Dict[str, int]:
+        """Store-side accounting; all zeros when no store is attached."""
+        stored = self.disk.stats() if self.disk is not None else {"entries": 0, "bytes": 0}
+        return {
+            "disk_hits": self.disk_hits,
+            "disk_writes": self.disk_writes,
+            "disk_write_skips": self.disk_write_skips,
+            "disk_entries": stored["entries"],
+            "disk_bytes": stored["bytes"],
         }
 
     def rows(self) -> List[Dict[str, object]]:

@@ -314,6 +314,48 @@ class MetricsRegistry:
             if name.startswith(prefix)
         ]
 
+    # -- cross-process transfer ------------------------------------------
+    def export(self) -> Dict[str, Tuple[str, float]]:
+        """Picklable snapshot ``{name: (instrument type, value)}``.
+
+        The transfer format for moving a worker process's registry home:
+        plain strings and floats, nothing that needs this module on the
+        unpickling side.
+        """
+        with self._lock:
+            instruments = list(self._instruments.items())
+        snapshot: Dict[str, Tuple[str, float]] = {}
+        for name, instrument in instruments:
+            if isinstance(instrument, Counter):
+                snapshot[name] = ("counter", instrument.value)
+            elif isinstance(instrument, Gauge):
+                snapshot[name] = ("gauge", instrument.value)
+            else:
+                snapshot[name] = ("highwater", instrument.peak)
+        return snapshot
+
+    def absorb(self, snapshot: Mapping[str, Tuple[str, float]]) -> None:
+        """Merge an :meth:`export` snapshot into this registry.
+
+        Counters accumulate (a child's total is added), gauges adopt the
+        snapshot value (last write wins), high-water marks observe it.
+        Names are merged in sorted order so instrument creation order —
+        and therefore :meth:`names`/:meth:`as_dict` — is deterministic no
+        matter which worker finished first.
+        """
+        for name in sorted(snapshot):
+            kind, value = snapshot[name]
+            if kind == "counter":
+                self.counter(name).inc(float(value))
+            elif kind == "gauge":
+                self.gauge(name).set(float(value))
+            elif kind == "highwater":
+                self.highwater(name).observe(float(value))
+            else:
+                raise TelemetryError(
+                    f"cannot absorb unknown instrument type {kind!r} for {name!r}"
+                )
+
 
 # -- the bus -------------------------------------------------------------
 class Telemetry:
@@ -438,6 +480,50 @@ def telemetry_session(telemetry: Optional[Telemetry] = None) -> Iterator[Telemet
         yield session
     finally:
         set_telemetry(previous)
+
+
+# -- child-process event forwarding ---------------------------------------
+# A worker process cannot emit onto the parent's bus, so shard execution
+# runs each unit of work under a fresh process-default substrate, captures
+# what it emitted, and the parent replays it in shard order.  The replay
+# assigns fresh sequence numbers from the parent's bus and timestamps from
+# the parent's clock — exactly what a thread-mode shard emitting directly
+# would have gotten — so thread and process runs forward to identical
+# canonical logs.
+def capture_events(
+    fn: Callable[[], object],
+) -> Tuple[object, List[TelemetryEvent], Dict[str, Tuple[str, float]]]:
+    """Run ``fn`` under a private default substrate; return what it emitted.
+
+    Returns ``(fn's result, emitted events, registry export)``.
+    """
+    with telemetry_session() as session:
+        value = fn()
+        return value, session.events(), session.registry.export()
+
+
+def forward_events(
+    telemetry: Telemetry,
+    events: Iterable[Union[TelemetryEvent, Mapping[str, object]]],
+    counters: Optional[Mapping[str, Tuple[str, float]]] = None,
+) -> List[TelemetryEvent]:
+    """Re-emit captured child events (objects or dict records) onto a bus.
+
+    Each event lands with a fresh sequence number and the receiving bus's
+    clock; the optional ``counters`` snapshot is absorbed afterwards.
+    """
+    forwarded: List[TelemetryEvent] = []
+    for record in events:
+        event = (
+            record
+            if isinstance(record, TelemetryEvent)
+            else TelemetryEvent.from_dict(record)
+        )
+        attrs = {key: _thaw(value) for key, value in event.attrs}
+        forwarded.append(telemetry.emit(event.kind, event.name, **attrs))
+    if counters:
+        telemetry.registry.absorb(counters)
+    return forwarded
 
 
 # -- JSONL persistence ---------------------------------------------------

@@ -155,7 +155,13 @@ class SqliteBackend(Database):
             try:
                 yield self
             except Exception:
-                self._execute("ROLLBACK")
+                # The caller's exception is the diagnosis; a ROLLBACK that
+                # itself fails (connection died, disk gone) must not mask
+                # it.  sqlite aborts the transaction either way.
+                try:
+                    self._execute("ROLLBACK")
+                except DatabaseError:
+                    pass
                 raise
             else:
                 self._execute("COMMIT")

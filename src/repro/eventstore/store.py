@@ -49,6 +49,11 @@ class IngestStats:
     files_opened: int = 0
 
     @classmethod
+    def zero(cls) -> "IngestStats":
+        """An explicit all-zero traffic record."""
+        return cls()
+
+    @classmethod
     def from_registry(cls, metrics: MetricsRegistry) -> "IngestStats":
         return cls(
             files_injected=int(metrics.value("eventstore.files_injected")),

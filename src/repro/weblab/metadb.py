@@ -16,7 +16,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.core.errors import WebLabError
+from repro.core.errors import DuplicateCrawlError
 from repro.core.units import DataSize
 from repro.db.connection import Database, connect
 from repro.db.query import Select
@@ -86,7 +86,10 @@ class WebLabDatabase:
         )
         if existing is not None:
             if existing["crawl_time"] != crawl_time:
-                raise WebLabError(f"crawl {crawl_index} already registered differently")
+                raise DuplicateCrawlError(
+                    f"crawl {crawl_index} already registered with "
+                    f"crawl_time {existing['crawl_time']!r} (got {crawl_time!r})"
+                )
             return
         self.db.insert("crawls", crawl_index=crawl_index, crawl_time=crawl_time)
 

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.core.errors import WebLabError
+from repro.core.errors import DuplicateCrawlError, WebLabError
 from repro.core.faults import FaultInjector, delay_seconds
 from repro.core.telemetry import MetricsRegistry
 from repro.core.units import DataSize, Duration, Rate
@@ -55,6 +55,11 @@ class PreloadStats:
     def projected_daily(self) -> DataSize:
         """Content volume one day of this throughput would preload."""
         return self.throughput * Duration.days(1)
+
+    @classmethod
+    def zero(cls) -> "PreloadStats":
+        """An explicit all-zero stats record (e.g. a culled batch)."""
+        return cls()
 
     @classmethod
     def from_registry(cls, metrics: MetricsRegistry) -> "PreloadStats":
@@ -223,14 +228,16 @@ class PreloadSubsystem:
             self.metrics.counter("preload.stale_files").inc(
                 len(list(arc_paths)) + len(list(dat_paths))
             )
-            return self.lifetime_stats - self.lifetime_stats
+            return PreloadStats.zero()
         crawl_indexes = {index for _, index in list(arc_paths) + list(dat_paths)}
         for index in sorted(crawl_indexes):
             # Registration is idempotent for matching times; preload callers
-            # register real times beforehand when they have them.
+            # register real times beforehand when they have them, in which
+            # case our placeholder time conflicts — that duplicate is the
+            # only error this loop may swallow.
             try:
                 self.database.register_crawl(index, float(index))
-            except WebLabError:
+            except DuplicateCrawlError:
                 pass
         before = self.lifetime_stats
         start = time.perf_counter()  # repro: noqa[RPR002] operational counter only

@@ -19,6 +19,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.errors import WebLabError
+from repro.core.shards import map_shards
 from repro.core.telemetry import MetricsRegistry, Telemetry, get_telemetry
 from repro.core.units import DataSize, Duration
 from repro.transport.network import INTERNET2_100, NetworkLink
@@ -189,6 +190,16 @@ class WebLabServices:
         return bursty_terms(slices, vocabulary, scaling=scaling, min_weight=min_weight)
 
 
+def _pack_crawl_shard(task: Tuple[CrawlSnapshot, Path]) -> Tuple[List[Path], List[Path]]:
+    """Pack one crawl snapshot's ARC + DAT files (picklable shard body)."""
+    crawl, incoming = task
+    arc_paths = pack_crawl(crawl.pages, incoming, f"crawl{crawl.crawl_index:02d}")
+    dat_paths = pack_crawl_metadata(
+        crawl.pages, arc_paths, incoming, f"crawl{crawl.crawl_index:02d}"
+    )
+    return arc_paths, dat_paths
+
+
 def build_weblab(
     root: Union[str, Path],
     web_config: Optional[SyntheticWebConfig] = None,
@@ -196,15 +207,17 @@ def build_weblab(
     preload_config: Optional[PreloadConfig] = None,
     link: NetworkLink = INTERNET2_100,
     workers: int = 1,
+    executor: str = "thread",
     telemetry: Optional[Telemetry] = None,
 ) -> Tuple[WebLab, WebLabBuildReport, SyntheticWeb]:
     """Synthesize, pack, transfer, and preload a whole WebLab.
 
-    ``workers`` fans the per-crawl ARC/DAT packing out across a thread
-    pool and becomes the preload subsystem's parser parallelism (unless an
-    explicit ``preload_config`` already pins it).  Crawls pack into
-    disjoint files and results merge in crawl order, so the built WebLab
-    is identical for any worker count.
+    ``workers`` fans the per-crawl ARC/DAT packing out across a shard
+    pool — threads by default, worker processes with
+    ``executor="process"`` — and becomes the preload subsystem's parser
+    parallelism (unless an explicit ``preload_config`` already pins it).
+    Crawls pack into disjoint files and results merge in crawl order, so
+    the built WebLab is identical for any worker count or executor.
 
     Returns (weblab, build report, the synthetic web with its ground truth).
     """
@@ -216,20 +229,13 @@ def build_weblab(
     web = SyntheticWeb(web_config)
     crawls = web.generate_crawls(n_crawls)
 
-    def pack_one(crawl: CrawlSnapshot) -> Tuple[List[Path], List[Path]]:
-        arc_paths = pack_crawl(crawl.pages, incoming, f"crawl{crawl.crawl_index:02d}")
-        dat_paths = pack_crawl_metadata(
-            crawl.pages, arc_paths, incoming, f"crawl{crawl.crawl_index:02d}"
-        )
-        return arc_paths, dat_paths
-
-    if workers > 1:
-        from concurrent.futures import ThreadPoolExecutor
-
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            packed = list(pool.map(pack_one, crawls))
-    else:
-        packed = [pack_one(crawl) for crawl in crawls]
+    packed = map_shards(
+        _pack_crawl_shard,
+        [(crawl, incoming) for crawl in crawls],
+        workers=workers,
+        executor=executor,
+        telemetry=telemetry,
+    )
 
     arc_jobs: List[Tuple[Path, int]] = []
     dat_jobs: List[Tuple[Path, int]] = []

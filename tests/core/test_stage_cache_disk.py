@@ -1,0 +1,236 @@
+"""The stage cache over a shared on-disk store, and the cache-key bugfix.
+
+Two contracts:
+
+* **Shared store** — a fresh :class:`StageCache` (fresh process, fresh
+  run) pointed at the same store root replays warm with byte-identical
+  accounting, including two engines hammering one store concurrently.
+* **Unverifiable inputs** — an input dataset that *claims* a provenance
+  id whose stamp cannot be resolved must make the stage uncacheable, not
+  silently collide with genuinely unstamped seed data on the
+  ``"unstamped"`` digest (the bug this PR fixes).
+"""
+
+import threading
+
+import pytest
+
+from repro.core.dataflow import DataFlow
+from repro.core.dataset import Dataset
+from repro.core.engine import Engine, ProcessEngine
+from repro.core.errors import UnverifiableInputError
+from repro.core.stagecache import CachedStage, StageCache
+from repro.core.telemetry import strip_wall_clock
+from repro.core.units import DataSize, Duration
+
+
+def entry(name="out"):
+    return CachedStage.capture(
+        Dataset(name, DataSize(64.0), version="v1"), 0.5, {"k": 1}
+    )
+
+
+KEY = "a" * 64
+OTHER = "b" * 64
+
+
+class TestStageCacheWithDiskStore:
+    def test_write_through_and_promotion(self, tmp_path):
+        first = StageCache.on_disk(tmp_path)
+        first.store(KEY, entry())
+        assert first.disk_writes == 1
+        assert first.disk_stats()["disk_entries"] == 1
+
+        second = StageCache.on_disk(tmp_path)  # cold L1, same store
+        hit = second.lookup(KEY)
+        assert hit is not None and hit.stash == {"k": 1}
+        assert second.disk_hits == 1 and second.hits == 1
+        # Promoted into L1: the next lookup never touches the store.
+        second.disk.clear()
+        assert second.lookup(KEY) is not None
+        assert second.disk_hits == 1 and second.hits == 2
+
+    def test_memory_hit_skips_disk(self, tmp_path):
+        cache = StageCache.on_disk(tmp_path)
+        cache.store(KEY, entry())
+        assert cache.lookup(KEY) is not None
+        assert cache.disk_hits == 0
+
+    def test_miss_in_both_layers(self, tmp_path):
+        cache = StageCache.on_disk(tmp_path)
+        assert cache.lookup(KEY) is None
+        assert cache.stats()["misses"] == 1 and cache.disk_hits == 0
+
+    def test_unpicklable_entry_degrades_to_memory_only(self, tmp_path):
+        cache = StageCache.on_disk(tmp_path)
+        bad = entry()
+        bad.stash["closure"] = lambda: None
+        cache.store(KEY, bad)
+        assert cache.disk_write_skips == 1
+        assert cache.disk_stats()["disk_entries"] == 0
+        assert cache.lookup(KEY) is not None  # L1 still serves it
+
+    def test_invalidate_drops_both_layers(self, tmp_path):
+        cache = StageCache.on_disk(tmp_path)
+        cache.store(KEY, entry())
+        assert cache.invalidate(KEY) is True
+        assert cache.lookup(KEY) is None
+        assert StageCache.on_disk(tmp_path).lookup(KEY) is None
+
+    def test_clear_is_memory_only_by_default(self, tmp_path):
+        cache = StageCache.on_disk(tmp_path)
+        cache.store(KEY, entry())
+        cache.clear()
+        assert cache.lookup(KEY) is not None  # refilled from the store
+        cache.clear(disk=True)
+        assert cache.lookup(KEY) is None
+
+    def test_l1_eviction_keeps_disk_copy(self, tmp_path):
+        cache = StageCache.on_disk(tmp_path, max_entries=1)
+        cache.store(KEY, entry("first"))
+        cache.store(OTHER, entry("second"))
+        assert cache.stats()["entries"] == 1  # first evicted from L1
+        hit = cache.lookup(KEY)
+        assert hit is not None and cache.disk_hits == 1
+
+    def test_disk_store_bounds_plumbed(self, tmp_path):
+        cache = StageCache.on_disk(tmp_path, max_bytes=123, max_disk_entries=4)
+        assert cache.disk.max_bytes == 123
+        assert cache.disk.max_entries == 4
+
+    def test_stats_shape_unchanged(self, tmp_path):
+        cache = StageCache.on_disk(tmp_path)
+        cache.store(KEY, entry())
+        cache.lookup(KEY)
+        assert set(cache.stats()) == {"hits", "misses", "evictions", "entries"}
+
+
+def counting_flow(calls):
+    def source(inputs, ctx):
+        calls["source"] += 1
+        ctx.stash["note"] = "from-source"
+        return Dataset("raw", DataSize(1000.0), version="v1")
+
+    def double(inputs, ctx):
+        calls["double"] += 1
+        ctx.charge_cpu(Duration(2.0))
+        return inputs["source"].derive("doubled", DataSize(2000.0))
+
+    flow = DataFlow("disk-cached-flow")
+    flow.stage("source", source, site="A")
+    flow.stage("double", double, site="B", cpu_seconds_per_gb=100)
+    flow.chain("source", "double")
+    return flow
+
+
+class TestEngineOverSharedStore:
+    def test_cross_run_warm_rerun_all_hit_byte_identical(self, tmp_path):
+        """A second run with a *fresh* cache instance over the same store
+        root — the cross-process scenario — replays every stage."""
+        calls = {"source": 0, "double": 0}
+        cold_cache = StageCache.on_disk(tmp_path / "store")
+        cold = Engine(seed=5, cache=cold_cache).run(counting_flow(calls))
+        assert calls == {"source": 1, "double": 1}
+
+        warm_cache = StageCache.on_disk(tmp_path / "store")
+        warm = Engine(seed=5, cache=warm_cache).run(counting_flow(calls))
+        assert calls == {"source": 1, "double": 1}  # nothing re-ran
+        assert warm_cache.hits == 2 and warm_cache.disk_hits == 2
+        assert warm.summary_rows() == cold.summary_rows()
+        assert strip_wall_clock(warm.events) == strip_wall_clock(cold.events)
+
+    def test_process_engine_warm_from_sequential_prime(self, tmp_path):
+        calls = {"source": 0, "double": 0}
+        cold = Engine(seed=5, cache=StageCache.on_disk(tmp_path / "store")).run(
+            counting_flow(calls)
+        )
+        warm = ProcessEngine(
+            seed=5, cache=StageCache.on_disk(tmp_path / "store")
+        ).run(counting_flow(calls))
+        assert calls == {"source": 1, "double": 1}
+        assert strip_wall_clock(warm.events) == strip_wall_clock(cold.events)
+
+    def test_two_engines_hammer_one_store(self, tmp_path):
+        """Concurrent runs against one store stay correct: every engine
+        produces the reference report whether its stages hit or miss."""
+        reference = Engine(seed=5).run(counting_flow({"source": 0, "double": 0}))
+        reports, errors = {}, []
+
+        def run_one(tag):
+            try:
+                cache = StageCache.on_disk(tmp_path / "store")
+                calls = {"source": 0, "double": 0}
+                reports[tag] = Engine(seed=5, cache=cache).run(
+                    counting_flow(calls)
+                )
+            except Exception as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=run_one, args=(tag,)) for tag in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        for report in reports.values():
+            assert report.summary_rows() == reference.summary_rows()
+            assert strip_wall_clock(report.events) == strip_wall_clock(
+                reference.events
+            )
+
+
+class TestUnverifiableInputRegression:
+    """The ``_cache_descriptor`` bugfix: a dangling provenance id must not
+    alias the ``"unstamped"`` digest."""
+
+    def consume_flow(self):
+        def consume(inputs, ctx):
+            return inputs["input"].derive("copy", inputs["input"].size)
+
+        flow = DataFlow("seeded")
+        flow.stage("consume", consume)
+        return flow
+
+    def test_descriptor_raises_on_dangling_provenance_id(self):
+        engine = Engine(seed=1, cache=StageCache())
+        dangling = Dataset(
+            "ext", DataSize(10.0), provenance_id="prov-never-recorded"
+        )
+        with pytest.raises(UnverifiableInputError, match="prov-never-recorded"):
+            engine._cache_descriptor("consume", dangling)
+
+    def test_dangling_id_does_not_collide_with_unstamped(self):
+        """Before the fix both datasets keyed as ``#unstamped`` and the
+        second run *hit* the first run's entry — a wrong-result replay."""
+        cache = StageCache()
+        Engine(seed=1, cache=cache).run(
+            self.consume_flow(),
+            inputs={"consume": Dataset("ext", DataSize(10.0))},
+        )
+        assert cache.stats()["misses"] == 1
+
+        dangling = Dataset(
+            "ext", DataSize(10.0), provenance_id="prov-never-recorded"
+        )
+        Engine(seed=1, cache=cache).run(
+            self.consume_flow(), inputs={"consume": dangling}
+        )
+        # Uncacheable, not a false hit: the stage ran, nothing was stored.
+        assert cache.hits == 0
+        assert cache.stats()["entries"] == 1
+        assert (
+            cache.registry.value("stage_cache.unverified_inputs") == 1
+        )
+
+    def test_unstamped_seed_still_caches(self):
+        """The legitimate no-provenance case keeps its old behaviour."""
+        cache = StageCache()
+        for _ in range(2):
+            Engine(seed=1, cache=cache).run(
+                self.consume_flow(),
+                inputs={"consume": Dataset("ext", DataSize(10.0))},
+            )
+        assert cache.hits == 1
+        assert cache.registry.value("stage_cache.unverified_inputs") == 0

@@ -96,6 +96,28 @@ class TestConnection:
                 with db.transaction():
                     pass
 
+    def test_failed_rollback_does_not_mask_original_error(self, db):
+        """Double fault: when the ROLLBACK itself fails (here: the
+        connection died mid-transaction), the caller must still see the
+        exception that aborted the transaction — not the rollback's."""
+        db.execute("CREATE TABLE t (x INTEGER)")
+        with pytest.raises(RuntimeError, match="original failure"):
+            with db.transaction():
+                db.insert("t", x=1)
+                db.close()  # subsequent ROLLBACK raises DatabaseError
+                raise RuntimeError("original failure")
+
+    def test_failed_rollback_still_resets_transaction_state(self, db):
+        db.execute("CREATE TABLE t (x INTEGER)")
+        with pytest.raises(RuntimeError):
+            with db.transaction():
+                db.close()
+                raise RuntimeError("abort")
+        # The in-transaction flag was released despite the double fault.
+        with pytest.raises(DatabaseError, match="closed"):
+            with db.transaction():
+                pass
+
     def test_table_names_and_exists(self, db):
         db.execute("CREATE TABLE zebra (x INTEGER)")
         db.execute("CREATE TABLE aardvark (x INTEGER)")
