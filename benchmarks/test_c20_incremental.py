@@ -1,0 +1,101 @@
+"""C20 — incremental execution: delta fraction vs recompute cost.
+
+The incremental identity is *warm rerun + new inputs*: a survey that has
+already processed N pointings and receives a delta re-runs the flow
+against the shared stage cache, recomputing only the never-seen shards
+(observe + search per new pointing) while everything else replays.
+
+This benchmark runs the Figure-1 pipeline cold at 10 pointings, then
+reruns it from caches primed at 50%, 80%, and 90% completion.  The bar
+from the paper's economics: at a ≤10% delta fraction the incremental
+rerun must cost at least 5x less wall-clock than the cold batch — and at
+every fraction the result must be byte-identical to the batch run.
+"""
+
+import time
+
+from repro.arecibo.pipeline import AreciboPipelineConfig, run_arecibo_pipeline
+from repro.arecibo.sky import SkyModel
+from repro.arecibo.telescope import ObservationConfig
+from repro.core.stagecache import StageCache
+from repro.core.telemetry import strip_wall_clock
+
+SEED = 20
+
+N_POINTINGS = 10
+
+#: (delta fraction, pointings already processed when the delta lands)
+FRACTIONS = ((0.5, 5), (0.2, 8), (0.1, 9))
+
+
+def config(n_pointings):
+    return AreciboPipelineConfig(
+        n_pointings=n_pointings,
+        observation=ObservationConfig(n_channels=64, n_samples=4096),
+        sky=SkyModel(
+            seed=SEED,
+            pulsar_fraction=0.5,
+            binary_fraction=0.0,
+            transient_rate=0.5,
+            period_range_s=(0.03, 0.12),
+            snr_range=(15.0, 30.0),
+        ),
+        seed=SEED,
+    )
+
+
+class TestC20IncrementalCost:
+    def test_delta_fraction_sweep(self, tmp_path, report_rows):
+        start = time.perf_counter()
+        cold = run_arecibo_pipeline(
+            tmp_path / "cold", config(N_POINTINGS), cache=StageCache()
+        )
+        t_cold = time.perf_counter() - start
+        reference_log = strip_wall_clock(cold.flow_report.events)
+
+        rows = [{
+            "run": "cold batch", "delta": "100%", "new": N_POINTINGS,
+            "wall_s": round(t_cold, 3), "speedup": 1.0,
+            "shard_misses": "-",
+        }]
+        speedups = {}
+        for fraction, primed in FRACTIONS:
+            cache = StageCache()
+            run_arecibo_pipeline(
+                tmp_path / f"prime{primed:02d}", config(primed), cache=cache
+            )
+            hits_before = cache.shard_hits
+            misses_before = cache.shard_misses
+            start = time.perf_counter()
+            incremental = run_arecibo_pipeline(
+                tmp_path / f"inc{primed:02d}", config(N_POINTINGS), cache=cache
+            )
+            t_inc = time.perf_counter() - start
+            new = N_POINTINGS - primed
+            shard_hits = cache.shard_hits - hits_before
+            shard_misses = cache.shard_misses - misses_before
+            speedups[fraction] = t_cold / t_inc
+            rows.append({
+                "run": "incremental", "delta": f"{fraction:.0%}", "new": new,
+                "wall_s": round(t_inc, 3),
+                "speedup": round(t_cold / t_inc, 2),
+                "shard_misses": shard_misses,
+            })
+
+            # Identical science and canonical accounting at every fraction.
+            assert incremental.score == cold.score
+            assert (
+                strip_wall_clock(incremental.flow_report.events)
+                == reference_log
+            )
+            # Only the dirty cone recomputed: observe + search per new
+            # pointing; every already-seen pointing replays from cache.
+            assert shard_misses == 2 * new
+            assert shard_hits == 2 * primed
+
+        report_rows("C20: incremental rerun cost vs delta fraction", rows)
+
+        # The paper's bar: a <=10% delta costs at least 5x less than batch.
+        assert speedups[0.1] >= 5.0, (
+            f"expected >=5x at 10% delta, got {speedups[0.1]:.2f}x"
+        )

@@ -31,12 +31,14 @@ from repro.arecibo.sky import N_BEAMS, Pointing, SkyModel
 from repro.arecibo.telescope import ObservationConfig, ObservationSimulator
 from repro.core.dataflow import DataFlow, StageFn, structural_stub
 from repro.core.dataset import Dataset
+from repro.core.deltas import WindowLedger
 from repro.core.engine import Engine, FlowReport
+from repro.core.errors import IncrementalError
 from repro.core.faults import FaultInjector, FaultPlan
 from repro.core.recovery import RetryPolicy
 from repro.core.shards import SharedArray
 from repro.core.stagecache import StageCache
-from repro.core.telemetry import write_event_log
+from repro.core.telemetry import Telemetry, write_event_log
 from repro.core.units import DataSize, Duration
 from repro.storage.media import LTO3_TAPE
 from repro.storage.tape import RoboticTapeLibrary
@@ -142,6 +144,23 @@ def _cache_fingerprint(config: AreciboPipelineConfig) -> Dict[str, object]:
     return {"pipeline": repr(replace(config, workers=1, executor="thread"))}
 
 
+def _shard_fingerprint(config: AreciboPipelineConfig) -> Dict[str, object]:
+    """Shard-level ``cache_params``: the config minus the survey length.
+
+    Per-pointing shard results are independent of how many pointings the
+    run covers (pointing generation is prefix-stable: pointing *i* is the
+    same object in a 2-pointing and a 200-pointing survey), so excluding
+    ``n_pointings`` lets an incremental window replay every shard an
+    earlier, shorter window already computed and pay only for the new
+    arrivals.
+    """
+    return {
+        "pipeline": repr(
+            replace(config, workers=1, executor="thread", n_pointings=0)
+        )
+    }
+
+
 def figure1_flow(
     transforms: Optional[Mapping[str, StageFn]] = None,
     cache_params: Optional[Mapping[str, object]] = None,
@@ -197,6 +216,20 @@ def figure1_flow(
 #: in-process execution, or ``(meta dict, SharedArray)`` when the block
 #: crosses a process boundary through shared memory.
 _BeamPayload = Union[Filterbank, Tuple[Dict[str, object], SharedArray]]
+
+
+def _observe_pointing_shard(
+    task: Tuple[ObservationConfig, Pointing, int],
+) -> List[Filterbank]:
+    """Observe one pointing's beams (picklable, shard-cacheable body).
+
+    The simulator is stateless per observation and the RNG derives from
+    the passed seed alone, so one pointing's filterbanks are identical
+    whether observed inline, on a worker, or replayed from a shard-cache
+    entry written by an earlier (shorter) survey window.
+    """
+    observation, pointing, seed = task
+    return ObservationSimulator(observation).observe(pointing, seed=seed)
 
 
 def _beam_filterbank(payload: "_BeamPayload") -> Filterbank:
@@ -363,7 +396,6 @@ def run_arecibo_pipeline(
     )
     injector: Optional[FaultInjector] = engine.faults
 
-    simulator = ObservationSimulator(config.observation)
     pointings = config.sky.generate_pointings(config.n_pointings)
     lane = ShippingLane(
         ARECIBO_TO_CTC, rng=random.Random(config.seed), faults=injector
@@ -389,11 +421,26 @@ def run_arecibo_pipeline(
         db_loaded["done"] = True
 
     def acquire(inputs, ctx):
-        """Record dynamic spectra to local disks; basic quality monitoring."""
+        """Record dynamic spectra to local disks; basic quality monitoring.
+
+        Pointings observe independently on the shard pool, keyed per
+        pointing in the shard cache: a window that extends the survey by
+        one night recomputes only the new arrivals.
+        """
+        observed = ctx.map_shards(
+            _observe_pointing_shard,
+            [
+                (config.observation, pointing, config.seed + pointing.pointing_id)
+                for pointing in pointings
+            ],
+            cache_keys=[
+                f"observe|p{pointing.pointing_id:04d}" for pointing in pointings
+            ],
+            cache_params=_shard_fingerprint(config),
+        )
         observations: Dict[int, List[Filterbank]] = {}
         total = DataSize.zero()
-        for pointing in pointings:
-            beams = simulator.observe(pointing, seed=config.seed + pointing.pointing_id)
+        for pointing, beams in zip(pointings, observed):
             observations[pointing.pointing_id] = beams
             for filterbank in beams:
                 path = staging / (
@@ -491,7 +538,16 @@ def run_arecibo_pipeline(
                         culled_by_pointing[pointing.pointing_id],
                     )
                 )
-            pointing_results = ctx.map_shards(_search_pointing_shard, tasks)
+            pointing_results = ctx.map_shards(
+                _search_pointing_shard,
+                tasks,
+                cache_keys=[
+                    f"search|p{pointing.pointing_id:04d}"
+                    f"|culled={sorted(culled_by_pointing[pointing.pointing_id])}"
+                    for pointing in pointings
+                ],
+                cache_params=_shard_fingerprint(config),
+            )
         finally:
             for shared in shared_handles:
                 shared.close()
@@ -701,3 +757,114 @@ def run_arecibo_pipeline(
     )
     database.close()
     return report
+
+
+# -- incremental (windowed) execution --------------------------------------
+@dataclass
+class AreciboWindowReport:
+    """One arrival window of an incremental Figure-1 run."""
+
+    index: int
+    watermark: float
+    new_pointings: int
+    pointings_seen: int
+    report: AreciboPipelineReport
+    #: Stage-cache traffic this window generated (deltas of the shared
+    #: cache's counters) — the dirty-cone pin: only never-seen pointings
+    #: may miss at the shard level.
+    stage_hits: int = 0
+    stage_misses: int = 0
+    shard_hits: int = 0
+    shard_misses: int = 0
+
+
+@dataclass
+class AreciboIncrementalReport:
+    """A Figure-1 survey run as a sequence of pointing-arrival windows."""
+
+    config: AreciboPipelineConfig
+    windows: List[AreciboWindowReport]
+    ledger: WindowLedger
+    telemetry: Telemetry
+
+    @property
+    def final(self) -> AreciboPipelineReport:
+        """The last window's report — covers the whole survey, and is
+        byte-identical (canonical accounting) to one cold batch run."""
+        return self.windows[-1].report
+
+
+def run_arecibo_incremental(
+    workdir: Union[str, Path],
+    config: Optional[AreciboPipelineConfig] = None,
+    arrivals: Optional[Sequence[int]] = None,
+    cache: Optional[StageCache] = None,
+    telemetry: Optional[Telemetry] = None,
+) -> AreciboIncrementalReport:
+    """Run Figure 1 incrementally: pointings arrive night by night.
+
+    ``arrivals`` lists how many new pointings land in each window
+    (default: one per window); they must sum to ``config.n_pointings``.
+    Each window re-runs the flow over every pointing seen so far against
+    the shared stage cache — the incremental identity *warm rerun + new
+    inputs*: whole stages whose inputs did not change replay as stage
+    hits, and the delta-capable ``acquire``/``process`` stages recompute
+    only the newly arrived pointings' shards.  A zero-arrival window runs
+    no new compute (all-hit) but is still accounted on the ledger.
+
+    The last window covers the whole survey, so its report and canonical
+    telemetry are byte-identical to one cold batch run of
+    :func:`run_arecibo_pipeline` with the same ``config``.
+    """
+    config = config if config is not None else AreciboPipelineConfig()
+    if arrivals is None:
+        arrivals = [1] * config.n_pointings
+    arrivals = [int(count) for count in arrivals]
+    if any(count < 0 for count in arrivals):
+        raise IncrementalError(f"negative arrival counts: {arrivals}")
+    if sum(arrivals) != config.n_pointings:
+        raise IncrementalError(
+            f"arrivals {arrivals} sum to {sum(arrivals)}, "
+            f"expected n_pointings={config.n_pointings}"
+        )
+    workdir = Path(workdir)
+    cache = cache if cache is not None else StageCache()
+    bus = telemetry if telemetry is not None else Telemetry()
+    ledger = WindowLedger("arecibo-figure1", bus)
+    windows: List[AreciboWindowReport] = []
+    seen = 0
+    for index, count in enumerate(arrivals):
+        seen += count
+        before = (
+            cache.hits, cache.misses, cache.shard_hits, cache.shard_misses,
+        )
+        ledger.open(float(index + 1), arrivals=count, pointings=seen)
+        report = run_arecibo_pipeline(
+            workdir / f"window{index:02d}",
+            replace(config, n_pointings=seen),
+            cache=cache,
+        )
+        ledger.close(
+            arrivals=count,
+            pointings=seen,
+            candidates=report.candidate_count_sifted,
+            confirmed=len(report.confirmed),
+            cpu_seconds=report.flow_report.total_cpu_time.seconds,
+            bytes=report.flow_report.total_output.bytes,
+        )
+        windows.append(
+            AreciboWindowReport(
+                index=index,
+                watermark=float(index + 1),
+                new_pointings=count,
+                pointings_seen=seen,
+                report=report,
+                stage_hits=cache.hits - before[0],
+                stage_misses=cache.misses - before[1],
+                shard_hits=cache.shard_hits - before[2],
+                shard_misses=cache.shard_misses - before[3],
+            )
+        )
+    return AreciboIncrementalReport(
+        config=config, windows=windows, ledger=ledger, telemetry=bus
+    )

@@ -25,8 +25,11 @@ from repro.cleo.detector import (
 )
 from repro.cleo.montecarlo import MonteCarloProducer, produce_offsite_mc
 from repro.cleo.pipeline import (
+    CleoIncrementalReport,
     CleoPipelineConfig,
     CleoPipelineReport,
+    CleoWindowReport,
+    run_cleo_incremental,
     run_cleo_pipeline,
 )
 from repro.cleo.postrecon import (
@@ -61,8 +64,11 @@ __all__ = [
     "hits_of",
     "MonteCarloProducer",
     "produce_offsite_mc",
+    "CleoIncrementalReport",
     "CleoPipelineConfig",
     "CleoPipelineReport",
+    "CleoWindowReport",
+    "run_cleo_incremental",
     "run_cleo_pipeline",
     "POSTRECON_ASUS",
     "PostReconstructor",

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 
 from repro.cleo.analysis import AnalysisJob, AnalysisResult
@@ -21,11 +21,13 @@ from repro.cleo.postrecon import PostReconstructor
 from repro.cleo.reconstruction import Reconstructor
 from repro.core.dataflow import DataFlow, StageFn, structural_stub
 from repro.core.dataset import Dataset
+from repro.core.deltas import WindowLedger
 from repro.core.engine import Engine, FlowReport
+from repro.core.errors import IncrementalError
 from repro.core.faults import FaultInjector, FaultPlan
 from repro.core.recovery import RetryPolicy
 from repro.core.stagecache import StageCache
-from repro.core.telemetry import write_event_log
+from repro.core.telemetry import Telemetry, write_event_log
 from repro.core.units import DataSize
 from repro.eventstore.hsm_store import HsmEventStore
 from repro.eventstore.merge import merge_into
@@ -109,6 +111,19 @@ def _cache_fingerprint(config: CleoPipelineConfig) -> Dict[str, object]:
     count and shard executor.
     """
     return {"pipeline": repr(replace(config, workers=1, executor="thread"))}
+
+
+def _shard_fingerprint(config: CleoPipelineConfig) -> Dict[str, object]:
+    """Shard-level ``cache_params``: the config minus the run count.
+
+    Run generation is prefix-stable (run *i* is seeded from
+    ``config.seed + i`` regardless of ``n_runs``), so per-run
+    reconstruction shards computed by a shorter window replay verbatim
+    when later windows append runs to the open dataset.
+    """
+    return {
+        "pipeline": repr(replace(config, workers=1, executor="thread", n_runs=0))
+    }
 
 
 def figure2_flow(
@@ -269,7 +284,12 @@ def run_cleo_pipeline(
         for run in runs:
             raw_file = store.open_file(run.number, "Raw_daq_v3", "raw")
             tasks.append((reconstructor, list(raw_file.events()), raw_file.stamp))
-        shard_results = ctx.map_shards(_reconstruct_run_shard, tasks)
+        shard_results = ctx.map_shards(
+            _reconstruct_run_shard,
+            tasks,
+            cache_keys=[f"recon|run{run.number:04d}" for run in runs],
+            cache_params=_shard_fingerprint(config),
+        )
         products = []
         total = 0.0
         for run, (recon_events, stamp) in zip(runs, shard_results):
@@ -404,3 +424,106 @@ def run_cleo_pipeline(
     )
     store.close()
     return report
+
+
+# -- incremental (windowed) execution --------------------------------------
+@dataclass
+class CleoWindowReport:
+    """One run-append window of an incremental Figure-2 run."""
+
+    index: int
+    watermark: float
+    new_runs: int
+    runs_seen: int
+    report: CleoPipelineReport
+    stage_hits: int = 0
+    stage_misses: int = 0
+    shard_hits: int = 0
+    shard_misses: int = 0
+
+
+@dataclass
+class CleoIncrementalReport:
+    """A Figure-2 production as a sequence of run-append windows."""
+
+    config: CleoPipelineConfig
+    windows: List[CleoWindowReport]
+    ledger: WindowLedger
+    telemetry: Telemetry
+
+    @property
+    def final(self) -> CleoPipelineReport:
+        """The last window's report — the whole production, byte-identical
+        (canonical accounting, EventStore contents) to one cold batch."""
+        return self.windows[-1].report
+
+
+def run_cleo_incremental(
+    workdir: Union[str, Path],
+    config: Optional[CleoPipelineConfig] = None,
+    arrivals: Optional[Sequence[int]] = None,
+    cache: Optional[StageCache] = None,
+    telemetry: Optional[Telemetry] = None,
+) -> CleoIncrementalReport:
+    """Run Figure 2 incrementally: runs append to the open dataset.
+
+    ``arrivals`` lists how many new runs land per window (default one per
+    window) and must sum to ``config.n_runs``.  Each window replays the
+    flow over all runs seen so far against the shared stage cache; the
+    per-run reconstruction batch recomputes only appended runs (shard
+    hits cover the rest), mirroring CLEO's staged production where
+    reprocessing sweeps reuse everything unchanged.  Every window builds
+    a fresh EventStore under ``workdir/window<i>``, so the final window's
+    store is exactly the store a cold batch run would have built.
+    """
+    config = config if config is not None else CleoPipelineConfig()
+    if arrivals is None:
+        arrivals = [1] * config.n_runs
+    arrivals = [int(count) for count in arrivals]
+    if any(count < 0 for count in arrivals):
+        raise IncrementalError(f"negative arrival counts: {arrivals}")
+    if sum(arrivals) != config.n_runs:
+        raise IncrementalError(
+            f"arrivals {arrivals} sum to {sum(arrivals)}, "
+            f"expected n_runs={config.n_runs}"
+        )
+    workdir = Path(workdir)
+    cache = cache if cache is not None else StageCache()
+    bus = telemetry if telemetry is not None else Telemetry()
+    ledger = WindowLedger("cleo-figure2", bus)
+    windows: List[CleoWindowReport] = []
+    seen = 0
+    for index, count in enumerate(arrivals):
+        seen += count
+        before = (
+            cache.hits, cache.misses, cache.shard_hits, cache.shard_misses,
+        )
+        ledger.open(float(index + 1), arrivals=count, runs=seen)
+        report = run_cleo_pipeline(
+            workdir / f"window{index:02d}",
+            replace(config, n_runs=seen),
+            cache=cache,
+        )
+        ledger.close(
+            arrivals=count,
+            runs=seen,
+            events_selected=report.analysis.events_selected,
+            cpu_seconds=report.flow_report.total_cpu_time.seconds,
+            bytes=report.flow_report.total_output.bytes,
+        )
+        windows.append(
+            CleoWindowReport(
+                index=index,
+                watermark=float(index + 1),
+                new_runs=count,
+                runs_seen=seen,
+                report=report,
+                stage_hits=cache.hits - before[0],
+                stage_misses=cache.misses - before[1],
+                shard_hits=cache.shard_hits - before[2],
+                shard_misses=cache.shard_misses - before[3],
+            )
+        )
+    return CleoIncrementalReport(
+        config=config, windows=windows, ledger=ledger, telemetry=bus
+    )

@@ -90,7 +90,7 @@ from repro.core.faults import FaultInjector, FaultPlan, FaultRecord, delay_secon
 from repro.core.provenance import ProcessingStep, ProvenanceStore
 from repro.core.recovery import NO_RETRY, DeadLetter, RetryPolicy
 from repro.core.shards import ShardPool
-from repro.core.stagecache import CachedStage, StageCache, stage_key
+from repro.core.stagecache import CachedStage, StageCache, shard_key, stage_key
 from repro.core.telemetry import (
     Telemetry,
     TelemetryEvent,
@@ -169,6 +169,13 @@ class FlowReport:
     stashes: Dict[str, Mapping[str, object]] = field(
         default_factory=dict, repr=False
     )
+    #: Which stages actually ran vs. replayed from the stage cache, in
+    #: topological order.  Deliberately *not* part of the telemetry event
+    #: slice: the cache contract is that warm and cold runs emit
+    #: byte-identical canonical logs, so cache provenance lives on the
+    #: report object only (incremental runs use it to pin dirty cones).
+    executed_stages: List[str] = field(default_factory=list, repr=False)
+    cached_stages: List[str] = field(default_factory=list, repr=False)
 
     @property
     def total_cpu_time(self) -> Duration:
@@ -243,11 +250,14 @@ class StageContext:
         rng: random.Random,
         stashes: Optional[Mapping[str, Mapping[str, object]]] = None,
         faults: Optional[FaultInjector] = None,
+        flow_name: str = "",
     ):
         self.stage = stage
         self.engine = engine
         self.provenance = provenance
         self.rng = rng
+        #: Name of the flow this stage runs in; namespaces shard-cache keys.
+        self.flow_name = flow_name
         #: The run's armed fault injector, or None.  Transforms use
         #: :meth:`fault_fires` for fine-grained degradation decisions
         #: (drop a beam, serve stale data) below stage granularity.
@@ -276,7 +286,7 @@ class StageContext:
         """
         return self.engine.shard_executor
 
-    def map_shards(self, fn, items):
+    def map_shards(self, fn, items, cache_keys=None, cache_params=None):
         """Fan ``fn`` out over ``items`` on the engine's shard pool.
 
         Results return in item order for every executor, so a transform
@@ -284,8 +294,58 @@ class StageContext:
         threaded, and process runs.  Under ``executor="process"``, ``fn``
         and each item must be picklable (module-level functions, plain
         data); telemetry the shards emit is forwarded home in item order.
+
+        With ``cache_keys`` (one stable descriptor string per item) and an
+        attached engine stage cache, each shard result is memoized under a
+        :func:`~repro.core.stagecache.shard_key` content address: items
+        seen in a prior run (or a prior incremental window) replay from the
+        cache and only never-seen items are computed.  The descriptor must
+        cover everything the shard's result depends on beyond
+        ``cache_params`` (which should pin the pipeline configuration) —
+        seeds, item identity, neighbour-dependent inputs.  Shard traffic is
+        counted in ``stage_cache.shard_hits``/``shard_misses``, apart from
+        whole-stage hits.
         """
-        return self.engine.map_shards(fn, items)
+        if cache_keys is None or self.engine.cache is None:
+            return self.engine.map_shards(fn, items)
+        items = list(items)
+        cache_keys = list(cache_keys)
+        if len(cache_keys) != len(items):
+            raise ExecutionError(
+                self.stage.name,
+                f"map_shards: {len(items)} items but {len(cache_keys)} cache keys",
+            )
+        fault_digest = (
+            self.engine.faults.digest if self.engine.faults is not None else ""
+        )
+        fn_name = getattr(fn, "__qualname__", repr(fn))
+        keys = [
+            shard_key(
+                flow_name=self.flow_name,
+                stage_name=self.stage.name,
+                fn_name=fn_name,
+                item_descriptor=descriptor,
+                cache_params=cache_params,
+                fault_digest=fault_digest,
+            )
+            for descriptor in cache_keys
+        ]
+        cache = self.engine.cache
+        results: List[object] = []
+        missing: List[int] = []
+        for index, key in enumerate(keys):
+            entry = cache.lookup_shard(key)
+            if entry is None:
+                missing.append(index)
+                results.append(None)
+            else:
+                results.append(entry.value)
+        if missing:
+            computed = self.engine.map_shards(fn, [items[i] for i in missing])
+            for index, value in zip(missing, computed):
+                cache.store_shard(keys[index], value)
+                results[index] = value
+        return results
 
     def fault_fires(self, scope: str, target: str, site: str = "") -> List[FaultRecord]:
         """Evaluate an in-transform injection point; record what fired.
@@ -538,7 +598,8 @@ class Engine:
         stage = flow.stages[name]
         rng = random.Random(_stage_seed(self._seed, name))
         context = StageContext(
-            stage, self, self.provenance, rng, stashes, faults=self.faults
+            stage, self, self.provenance, rng, stashes, faults=self.faults,
+            flow_name=flow.name,
         )
         if self.faults is not None:
             try:
@@ -623,6 +684,7 @@ class Engine:
                 random.Random(_stage_seed(self._seed, name)),
                 stashes,
                 faults=self.faults,
+                flow_name=flow.name,
             )
             try:
                 output = policy.fallback(stage_inputs, fallback_context, error)
@@ -1063,6 +1125,12 @@ class Engine:
         report.outputs = {name: results[name].output for name in flow.sinks()}
         report.stashes = dict(stashes)
         report.peak_live_storage = peak_storage_from_log(run_events)
+        report.executed_stages = [
+            name for name in order if not results[name].from_cache
+        ]
+        report.cached_stages = [
+            name for name in order if results[name].from_cache
+        ]
         return report
 
 

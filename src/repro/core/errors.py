@@ -122,3 +122,9 @@ class WebLabError(ReproError):
 
 class DuplicateCrawlError(WebLabError):
     """A crawl index was registered twice with conflicting metadata."""
+
+
+class IncrementalError(ReproError):
+    """Incremental-execution misuse: undeclared delta source, non-monotone
+    watermark, malformed delta batch, or a window/backfill request the
+    engine cannot honour."""

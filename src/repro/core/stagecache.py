@@ -91,6 +91,43 @@ def stage_key(
     return hashlib.sha256(blob).hexdigest()
 
 
+def shard_key(
+    flow_name: str,
+    stage_name: str,
+    fn_name: str,
+    item_descriptor: str,
+    cache_params: Optional[Mapping[str, object]] = None,
+    fault_digest: str = "",
+) -> str:
+    """Content address of one shard of a stage's fan-out.
+
+    Finer-grained sibling of :func:`stage_key`: where a stage key covers
+    the whole input set (any new item misses the whole stage), a shard
+    key covers one item of a ``map_shards`` fan-out, so an incremental
+    window recomputes only the items it has never seen.  The payload is
+    tagged ``"kind": "shard"`` so shard and stage addresses can never
+    collide even for pathological inputs.
+    """
+    payload = {
+        "kind": "shard",
+        "flow": flow_name,
+        "stage": stage_name,
+        "fn": str(fn_name),
+        "item": str(item_descriptor),
+        "params": {str(k): str(v) for k, v in (cache_params or {}).items()},
+        "faults": str(fault_digest),
+    }
+    blob = json.dumps(payload, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+@dataclass
+class CachedShard:
+    """One memoized shard result of a stage's ``map_shards`` fan-out."""
+
+    value: object
+
+
 @dataclass
 class CachedStage:
     """Everything needed to replay one stage without running it."""
@@ -292,6 +329,45 @@ class StageCache:
             else:
                 self.registry.counter("stage_cache.disk_write_skips").inc()
 
+    def lookup_shard(self, key: str) -> Optional[CachedShard]:
+        """Return the shard entry for ``key`` (marking it used), or None.
+
+        Shard traffic is counted apart from stage traffic
+        (``stage_cache.shard_hits``/``shard_misses``) so stage-level
+        warm-start assertions stay unchanged by shard fan-out.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if isinstance(entry, CachedShard):
+                self._entries.move_to_end(key)
+                self.registry.counter("stage_cache.shard_hits").inc()
+                return entry
+        if self.disk is not None:
+            from_disk = self.disk.read(key)
+            if isinstance(from_disk, CachedShard):
+                with self._lock:
+                    self._entries[key] = from_disk
+                    self._entries.move_to_end(key)
+                    self._bound_memory_locked()
+                self.registry.counter("stage_cache.shard_hits").inc()
+                self.registry.counter("stage_cache.disk_hits").inc()
+                return from_disk
+        self.registry.counter("stage_cache.shard_misses").inc()
+        return None
+
+    def store_shard(self, key: str, value: object) -> None:
+        """Memoize one shard result under its content address."""
+        entry = CachedShard(value=value)
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            self._bound_memory_locked()
+        if self.disk is not None:
+            if self.disk.write(key, entry):
+                self.registry.counter("stage_cache.disk_writes").inc()
+            else:
+                self.registry.counter("stage_cache.disk_write_skips").inc()
+
     def invalidate(self, key: str) -> bool:
         """Drop one entry from memory and disk; returns whether it existed."""
         with self._lock:
@@ -321,6 +397,15 @@ class StageCache:
     @property
     def evictions(self) -> int:
         return int(self.registry.value("stage_cache.evictions"))
+
+    @property
+    def shard_hits(self) -> int:
+        """Shard-level hits (separate from whole-stage ``hits``)."""
+        return int(self.registry.value("stage_cache.shard_hits"))
+
+    @property
+    def shard_misses(self) -> int:
+        return int(self.registry.value("stage_cache.shard_misses"))
 
     @property
     def disk_hits(self) -> int:
@@ -364,7 +449,9 @@ class StageCache:
 
 
 __all__: Tuple[str, ...] = (
+    "CachedShard",
     "CachedStage",
     "StageCache",
+    "shard_key",
     "stage_key",
 )

@@ -75,6 +75,9 @@ EVENT_KINDS = frozenset(
         "stage.retry",
         "stage.degraded",
         "stage.dead_letter",
+        "window.open",
+        "window.close",
+        "window.reopen",
     }
 )
 

@@ -1,0 +1,278 @@
+"""Crawl-delta ingestion: the WebLab's incremental preload path.
+
+The paper's crawls are bimonthly and mostly redundant — "the Web changes
+slowly enough that a new crawl largely repeats the previous one".  The
+batch path (:func:`repro.weblab.services.build_weblab`) packs and preloads
+every crawl in full anyway.  This module ships only the *difference*:
+
+* :func:`crawl_deltas` diffs consecutive :class:`CrawlSnapshot`\\ s into
+  :class:`CrawlDelta` records (pages added, modified, deleted);
+* :func:`build_weblab_incremental` packs each delta into its own ARC/DAT
+  files, transfers and preloads just those, and *merges* the full-text
+  index (remove deleted URLs, re-add changed pages) instead of rebuilding
+  it — one :class:`~repro.core.deltas.WindowLedger` window per crawl.
+
+The equivalence contract: the incrementally built WebLab is identical to
+one batch preload of the union of the same delta files, and the merged
+text index equals a fresh :func:`~repro.weblab.textindex.build_index`
+over the final crawl's live documents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.core.deltas import WindowLedger
+from repro.core.errors import IncrementalError
+from repro.core.telemetry import Telemetry, get_telemetry
+from repro.core.units import DataSize, Duration
+from repro.transport.network import INTERNET2_100, NetworkLink
+from repro.weblab.arcformat import pack_crawl
+from repro.weblab.datformat import pack_crawl_metadata
+from repro.weblab.preload import PreloadConfig, PreloadStats, PreloadSubsystem
+from repro.weblab.services import WebLab
+from repro.weblab.synthweb import (
+    CrawlSnapshot,
+    PageRecord,
+    SyntheticWeb,
+    SyntheticWebConfig,
+)
+from repro.weblab.textindex import TextIndex
+
+
+@dataclass(frozen=True)
+class CrawlDelta:
+    """What one crawl changed relative to the previous one.
+
+    ``added`` and ``modified`` carry the full new :class:`PageRecord`
+    (an ARC record is self-contained either way); ``deleted`` is URLs
+    only — nothing to archive, just an index/view removal.
+    """
+
+    crawl_index: int
+    crawl_time: float
+    added: Tuple[PageRecord, ...]
+    modified: Tuple[PageRecord, ...]
+    deleted: Tuple[str, ...]
+
+    @property
+    def pages(self) -> List[PageRecord]:
+        """Every page this delta ships (added + modified), in URL order."""
+        return sorted(self.added + self.modified, key=lambda page: page.url)
+
+    @property
+    def change_count(self) -> int:
+        return len(self.added) + len(self.modified) + len(self.deleted)
+
+
+def crawl_deltas(crawls: Sequence[CrawlSnapshot]) -> List[CrawlDelta]:
+    """Diff consecutive crawl snapshots into per-crawl deltas.
+
+    The first crawl is all additions.  A page counts as *modified* only
+    when its archived payload changed (content, outlinks, IP, or MIME) —
+    crawl timestamps are restamped on every pass and deliberately do not
+    count, since shipping every page for a timestamp would be the batch
+    path all over again.
+    """
+    deltas: List[CrawlDelta] = []
+    previous: dict = {}
+    for crawl in crawls:
+        current = {
+            page.url: (page.content, page.outlinks, page.ip, page.mime)
+            for page in crawl.pages
+        }
+        added = tuple(p for p in crawl.pages if p.url not in previous)
+        modified = tuple(
+            p
+            for p in crawl.pages
+            if p.url in previous and previous[p.url] != current[p.url]
+        )
+        deleted = tuple(sorted(url for url in previous if url not in current))
+        deltas.append(
+            CrawlDelta(
+                crawl_index=crawl.crawl_index,
+                crawl_time=crawl.crawl_time,
+                added=added,
+                modified=modified,
+                deleted=deleted,
+            )
+        )
+        previous = current
+    return deltas
+
+
+@dataclass
+class WebLabWindowReport:
+    """One ingestion window: one crawl delta packed, shipped, preloaded."""
+
+    index: int
+    crawl_index: int
+    crawl_time: float
+    added: int
+    modified: int
+    deleted: int
+    arc_files: int
+    dat_files: int
+    compressed: DataSize
+    transfer_time: Duration
+    preload: PreloadStats
+
+
+@dataclass
+class WebLabIncrementalReport:
+    """The incremental build's totals, window by window."""
+
+    crawls: int
+    windows: List[WebLabWindowReport]
+    index: TextIndex = field(repr=False)
+    ledger: WindowLedger = field(repr=False)
+    #: Every (path, crawl_index) job preloaded, in window order — the
+    #: exact input a batch comparator run should preload in one pass.
+    arc_jobs: List[Tuple[Path, int]] = field(repr=False)
+    dat_jobs: List[Tuple[Path, int]] = field(repr=False)
+
+    @property
+    def pages_loaded(self) -> int:
+        return sum(window.preload.pages for window in self.windows)
+
+    @property
+    def links_loaded(self) -> int:
+        return sum(window.preload.links for window in self.windows)
+
+    @property
+    def compressed_volume(self) -> DataSize:
+        return DataSize(sum(w.compressed.bytes for w in self.windows))
+
+    @property
+    def transfer_time(self) -> Duration:
+        return Duration(sum(w.transfer_time.seconds for w in self.windows))
+
+
+def build_weblab_incremental(
+    root: Union[str, Path],
+    web_config: Optional[SyntheticWebConfig] = None,
+    n_crawls: int = 6,
+    preload_config: Optional[PreloadConfig] = None,
+    link: NetworkLink = INTERNET2_100,
+    telemetry: Optional[Telemetry] = None,
+) -> Tuple[WebLab, WebLabIncrementalReport, SyntheticWeb]:
+    """Build a WebLab crawl-by-crawl from deltas instead of full snapshots.
+
+    Each crawl becomes one accounted window: diff against the previous
+    crawl, pack only the changed pages into ``delta<NN>`` ARC/DAT files,
+    ship those over ``link``, preload just them, and merge the full-text
+    index in place.  An unchanged crawl ships nothing — the window still
+    opens and closes on the ledger, with zero bytes.
+
+    Returns (weblab, incremental report, the synthetic web) — the same
+    shape as :func:`~repro.weblab.services.build_weblab` so the two paths
+    are drop-in comparable.
+    """
+    if n_crawls < 1:
+        raise IncrementalError("need at least one crawl")
+    root = Path(root)
+    incoming = root / "incoming"
+    incoming.mkdir(parents=True, exist_ok=True)
+    bus = telemetry if telemetry is not None else get_telemetry()
+
+    web = SyntheticWeb(web_config)
+    crawls = web.generate_crawls(n_crawls)
+    deltas = crawl_deltas(crawls)
+
+    weblab = WebLab(root / "weblab", telemetry=telemetry)
+    preloader = PreloadSubsystem(weblab.database, weblab.pagestore, preload_config)
+    ledger = WindowLedger("weblab-ingest", telemetry=bus)
+    index = TextIndex()
+    windows: List[WebLabWindowReport] = []
+    all_arc_jobs: List[Tuple[Path, int]] = []
+    all_dat_jobs: List[Tuple[Path, int]] = []
+
+    for delta in deltas:
+        weblab.database.register_crawl(delta.crawl_index, delta.crawl_time)
+        pages = delta.pages
+        if pages:
+            prefix = f"delta{delta.crawl_index:02d}"
+            arc_paths = pack_crawl(pages, incoming, prefix)
+            dat_paths = pack_crawl_metadata(pages, arc_paths, incoming, prefix)
+        else:
+            arc_paths, dat_paths = [], []
+        arc_jobs = [(path, delta.crawl_index) for path in arc_paths]
+        dat_jobs = [(path, delta.crawl_index) for path in dat_paths]
+        compressed = DataSize.from_bytes(
+            float(sum(path.stat().st_size for path, _ in arc_jobs + dat_jobs))
+        )
+        transfer_time = link.transfer_time(compressed)
+
+        ledger.open(
+            delta.crawl_time,
+            crawl=delta.crawl_index,
+            added=len(delta.added),
+            modified=len(delta.modified),
+            deleted=len(delta.deleted),
+        )
+        bus.emit(
+            "transfer.start",
+            "weblab-ingest",
+            link=link.name,
+            bytes=compressed.bytes,
+            mode="network",
+        )
+        bus.emit(
+            "transfer.finish",
+            "weblab-ingest",
+            link=link.name,
+            bytes=compressed.bytes,
+            elapsed_s=transfer_time.seconds,
+            mode="network",
+        )
+        stats = preloader.run(arc_jobs, dat_jobs) if arc_jobs or dat_jobs else (
+            PreloadStats.zero()
+        )
+        for url in delta.deleted:
+            index.remove(url)
+        index.add_many([(page.url, page.content) for page in pages])
+        ledger.close(
+            pages=stats.pages,
+            links=stats.links,
+            bytes=compressed.bytes,
+            elapsed_s=transfer_time.seconds,
+        )
+
+        all_arc_jobs.extend(arc_jobs)
+        all_dat_jobs.extend(dat_jobs)
+        windows.append(
+            WebLabWindowReport(
+                index=len(windows),
+                crawl_index=delta.crawl_index,
+                crawl_time=delta.crawl_time,
+                added=len(delta.added),
+                modified=len(delta.modified),
+                deleted=len(delta.deleted),
+                arc_files=len(arc_paths),
+                dat_files=len(dat_paths),
+                compressed=compressed,
+                transfer_time=transfer_time,
+                preload=stats,
+            )
+        )
+
+    report = WebLabIncrementalReport(
+        crawls=n_crawls,
+        windows=windows,
+        index=index,
+        ledger=ledger,
+        arc_jobs=all_arc_jobs,
+        dat_jobs=all_dat_jobs,
+    )
+    return weblab, report, web
+
+
+__all__ = (
+    "CrawlDelta",
+    "WebLabIncrementalReport",
+    "WebLabWindowReport",
+    "build_weblab_incremental",
+    "crawl_deltas",
+)

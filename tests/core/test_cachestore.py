@@ -158,6 +158,19 @@ class TestGarbageCollection:
         assert len(store) == 2
         assert keys[0] not in store.keys()
 
+    def test_equal_mtimes_evict_in_key_order(self, tmp_path):
+        """mtime ties break on filename, so two stores with identical
+        contents and timestamps collect identically — shared caches must
+        not diverge on GC order (incremental windows rely on this)."""
+        store = DiskCacheStore(tmp_path)
+        keys = [key_of(f"e{i}") for i in range(5)]
+        for key in keys:
+            store.write(key, b"x" * 64)
+            os.utime(store.path_for(key), ns=(10**9, 10**9))
+        store.max_entries = 2
+        assert store.gc() == 3
+        assert store.keys() == sorted(keys)[3:]
+
     def test_gc_is_race_tolerant(self, tmp_path):
         store, keys = self.aged_store(tmp_path, 3, max_entries=1)
         store.path_for(keys[0]).unlink()  # "another process" won the race

@@ -1,0 +1,181 @@
+"""Crawl-delta ingestion: incremental preload equals batch, merge equals rebuild.
+
+Contract under test: building the WebLab crawl-by-crawl from deltas
+(:func:`build_weblab_incremental`) loads exactly what one batch preload of
+the union of the same delta files loads — identical page and link rows,
+identical page store contents — and the incrementally merged text index
+scores every query identically to a fresh rebuild over the final crawl.
+"""
+
+import pytest
+
+from repro.core.errors import IncrementalError, WebLabError
+from repro.core.telemetry import Telemetry
+from repro.weblab.incremental import build_weblab_incremental, crawl_deltas
+from repro.weblab.preload import PreloadSubsystem
+from repro.weblab.services import WebLab
+from repro.weblab.synthweb import SyntheticWeb, SyntheticWebConfig
+from repro.weblab.textindex import TextIndex, build_index
+
+N_CRAWLS = 4
+
+
+def web_config():
+    return SyntheticWebConfig(seed=7, initial_pages=40)
+
+
+PAGES_SQL = (
+    "SELECT url, crawl_index, domain, tld, ip, fetched_at, size_bytes, mime, "
+    "content_hash FROM pages ORDER BY crawl_index, url"
+)
+LINKS_SQL = (
+    "SELECT crawl_index, src_url, dst_url FROM links "
+    "ORDER BY crawl_index, src_url, dst_url"
+)
+
+
+def rows(weblab, sql):
+    return [tuple(sorted(dict(row).items())) for row in weblab.database.db.query(sql)]
+
+
+class TestCrawlDeltas:
+    @pytest.fixture(scope="class")
+    def crawls(self):
+        return SyntheticWeb(web_config()).generate_crawls(N_CRAWLS)
+
+    def test_first_delta_is_all_additions(self, crawls):
+        deltas = crawl_deltas(crawls)
+        first = deltas[0]
+        assert len(first.added) == len(crawls[0].pages)
+        assert first.modified == () and first.deleted == ()
+
+    def test_deltas_are_sparse(self, crawls):
+        """The whole point: a delta ships far fewer pages than the crawl."""
+        for delta, crawl in list(zip(crawl_deltas(crawls), crawls))[1:]:
+            assert len(delta.pages) < crawl.page_count
+
+    def test_restamped_timestamps_do_not_count_as_modification(self, crawls):
+        """Every live page is restamped each crawl; only payload changes
+        (content, links) make a page part of the delta."""
+        deltas = crawl_deltas(crawls)
+        unchanged_urls = (
+            crawls[0].urls() & crawls[1].urls()
+        ) - {p.url for p in deltas[1].pages} - set(deltas[1].deleted)
+        assert unchanged_urls  # the synthetic web really is mostly static
+        by_url = {p.url: p for p in crawls[1].pages}
+        base = {p.url: p for p in crawls[0].pages}
+        for url in unchanged_urls:
+            assert by_url[url].content == base[url].content
+            assert by_url[url].fetched_at != base[url].fetched_at
+
+    def test_deltas_replay_to_the_final_crawl(self, crawls):
+        live = {}
+        for delta in crawl_deltas(crawls):
+            for url in delta.deleted:
+                del live[url]
+            for page in delta.pages:
+                live[page.url] = page
+        assert set(live) == crawls[-1].urls()
+
+
+class TestIncrementalBuild:
+    @pytest.fixture(scope="class")
+    def built(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("weblab-inc")
+        telemetry = Telemetry()
+        weblab, report, web = build_weblab_incremental(
+            root, web_config(), n_crawls=N_CRAWLS, telemetry=telemetry
+        )
+        yield weblab, report, web, telemetry
+        weblab.close()
+
+    @pytest.fixture(scope="class")
+    def batch(self, built, tmp_path_factory):
+        """One batch preload over the union of the same delta files."""
+        _, report, _, _ = built
+        root = tmp_path_factory.mktemp("weblab-batch")
+        weblab = WebLab(root / "weblab")
+        for crawl in SyntheticWeb(web_config()).generate_crawls(N_CRAWLS):
+            weblab.database.register_crawl(crawl.crawl_index, crawl.crawl_time)
+        preloader = PreloadSubsystem(weblab.database, weblab.pagestore, None)
+        stats = preloader.run(report.arc_jobs, report.dat_jobs)
+        yield weblab, stats
+        weblab.close()
+
+    def test_database_identical_to_batch_preload_of_union(self, built, batch):
+        weblab, _, _, _ = built
+        batch_lab, _ = batch
+        assert rows(weblab, PAGES_SQL) == rows(batch_lab, PAGES_SQL)
+        assert rows(weblab, LINKS_SQL) == rows(batch_lab, LINKS_SQL)
+
+    def test_totals_match_batch_preload(self, built, batch):
+        _, report, _, _ = built
+        _, stats = batch
+        assert report.pages_loaded == stats.pages
+        assert report.links_loaded == stats.links
+
+    def test_merged_index_equals_rebuild_over_final_crawl(self, built):
+        _, report, _, _ = built
+        crawls = SyntheticWeb(web_config()).generate_crawls(N_CRAWLS)
+        rebuilt = build_index(crawls[-1].documents())
+        assert len(report.index) == len(crawls[-1].pages)
+        assert report.index == rebuilt
+
+    def test_deltas_move_less_than_snapshots(self, built):
+        """Windows after the first ship only the delta — strictly less
+        than the full crawl snapshot each time."""
+        _, report, web, _ = built
+        crawls = SyntheticWeb(web_config()).generate_crawls(N_CRAWLS)
+        for window, crawl in list(zip(report.windows, crawls))[1:]:
+            delta_pages = window.added + window.modified
+            assert 0 < delta_pages < crawl.page_count
+
+    def test_every_window_is_accounted(self, built, batch):
+        _, report, _, telemetry = built
+        kinds = [
+            event.kind
+            for event in telemetry.events()
+            if event.kind.startswith("window.")
+        ]
+        assert kinds == ["window.open", "window.close"] * N_CRAWLS
+        # Watermarks are the crawl times, strictly increasing.
+        watermarks = [watermark for _, watermark in report.ledger.windows]
+        assert watermarks == sorted(watermarks)
+        assert len(set(watermarks)) == N_CRAWLS
+
+    def test_transfer_events_carry_per_window_bytes(self, built):
+        _, report, _, telemetry = built
+        starts = [
+            dict(event.attrs)
+            for event in telemetry.events()
+            if event.kind == "transfer.start"
+        ]
+        assert [attrs["bytes"] for attrs in starts] == [
+            window.compressed.bytes for window in report.windows
+        ]
+
+    def test_rejects_empty_build(self, tmp_path):
+        with pytest.raises(IncrementalError, match="at least one crawl"):
+            build_weblab_incremental(tmp_path, web_config(), n_crawls=0)
+
+
+class TestTextIndexEquality:
+    def test_equality_ignores_insertion_order(self):
+        docs = [("u1", "alpha beta"), ("u2", "beta gamma")]
+        forward = build_index(docs)
+        backward = build_index(list(reversed(docs)))
+        assert forward == backward
+
+    def test_content_difference_detected(self):
+        assert build_index([("u1", "alpha")]) != build_index([("u1", "beta")])
+
+    def test_remove_then_readd_round_trips(self):
+        index = build_index([("u1", "alpha beta"), ("u2", "gamma")])
+        index.remove("u2")
+        index.add("u2", "gamma")
+        assert index == build_index([("u1", "alpha beta"), ("u2", "gamma")])
+        with pytest.raises(WebLabError):
+            index.remove("ghost")
+
+    def test_other_types_unsupported(self):
+        assert TextIndex().__eq__(object()) is NotImplemented
