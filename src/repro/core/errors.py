@@ -128,3 +128,8 @@ class IncrementalError(ReproError):
     """Incremental-execution misuse: undeclared delta source, non-monotone
     watermark, malformed delta batch, or a window/backfill request the
     engine cannot honour."""
+
+
+class WorkloadError(ReproError):
+    """Workload-engine misuse: malformed spec or trace, unknown replay op,
+    or non-monotone arrivals fed to admission control."""

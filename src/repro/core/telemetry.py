@@ -78,6 +78,12 @@ EVENT_KINDS = frozenset(
         "window.open",
         "window.close",
         "window.reopen",
+        "workload.request",
+        "readcache.hit",
+        "readcache.miss",
+        "readcache.admit",
+        "readcache.evict",
+        "serve.rejected",
     }
 )
 

@@ -22,6 +22,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
 from repro.core.errors import EventStoreError
 from repro.core.provenance import ProvenanceStamp
+from repro.core.readcache import ReadCache
 from repro.core.telemetry import MetricsRegistry, Telemetry, get_telemetry
 from repro.core.units import DataSize, Duration
 from repro.core.versioning import GradeHistory
@@ -76,6 +77,11 @@ class EventStore:
         ``admin=True``), the paper's central operational lesson.
     name:
         Identifier used in merge records; defaults to the directory name.
+    cache:
+        Optional :class:`ReadCache` for the hot read path: grade
+        resolution (``grade:`` keys, invalidated by :meth:`assign_grade`
+        and :meth:`register_run`) and file-row lookups (``file:`` keys,
+        negative results included, invalidated by :meth:`inject`).
     """
 
     def __init__(
@@ -84,6 +90,7 @@ class EventStore:
         scale: str = "personal",
         name: Optional[str] = None,
         telemetry: Optional[Telemetry] = None,
+        cache: Optional[ReadCache] = None,
     ):
         if scale not in SCALES:
             raise EventStoreError(f"unknown scale {scale!r}; pick one of {SCALES}")
@@ -96,6 +103,7 @@ class EventStore:
         apply_schema(self.db, eventstore_schema())
         self.metrics = MetricsRegistry()
         self._telemetry = telemetry if telemetry is not None else get_telemetry()
+        self.cache = cache
 
     @property
     def ingest_stats(self) -> IngestStats:
@@ -144,6 +152,9 @@ class EventStore:
             event_count=run.event_count,
             conditions=json.dumps(run.condition_map, sort_keys=True),
         )
+        if self.cache is not None:
+            # A new run changes what every grade's run keys expand to.
+            self.cache.invalidate_prefix("grade:")
 
     def inject(
         self,
@@ -171,6 +182,9 @@ class EventStore:
         )
         count = write_event_file(path, header, events, stamp)
         size_bytes = float(path.stat().st_size)
+        if self.cache is not None:
+            # Drop a cached "no such file" answer for this coordinate.
+            self.cache.invalidate(f"file:{run.number}:{version}:{kind}")
         self.db.insert(
             "files",
             path=str(path.relative_to(self.root)),
@@ -233,6 +247,8 @@ class EventStore:
                 run_key=key,
                 version=version,
             )
+        if self.cache is not None:
+            self.cache.invalidate_prefix(f"grade:{grade}@")
 
     def _grade_history(self, grade: str) -> GradeHistory[str]:
         history: GradeHistory[str] = GradeHistory(grade)
@@ -272,7 +288,25 @@ class EventStore:
         rules apply, so a reassignment that uses a different key shape
         (``run:1`` after ``runs:1-2``) still pins correctly and the
         first-time-data exception only fires for genuinely new runs.
+
+        With a cache attached, the resolved mapping is served from the
+        ``grade:`` key space (every analysis iteration re-resolves the
+        same pinned coordinate); grade assignments and new runs
+        invalidate it.
         """
+        if self.cache is not None:
+            resolved = self.cache.get_or_load(
+                f"grade:{grade}@{timestamp!r}:{include_new_data}",
+                lambda: self._resolve_runs_uncached(
+                    grade, timestamp, include_new_data
+                ),
+            )
+            return dict(resolved)  # type: ignore[arg-type]
+        return self._resolve_runs_uncached(grade, timestamp, include_new_data)
+
+    def _resolve_runs_uncached(
+        self, grade: str, timestamp: float, include_new_data: bool
+    ) -> Dict[int, str]:
         rows = self.db.query(
             "SELECT timestamp, run_key, version FROM grade_entries "
             "WHERE grade = ? ORDER BY timestamp, id",
@@ -295,10 +329,25 @@ class EventStore:
 
     # -- read path ---------------------------------------------------------
     def _file_row(self, run_number: int, version: str, kind: str):
-        return self.db.query_one(
+        """The file registered under (run, version, kind), or None.
+
+        Cached (including the None case — resolved grades routinely cover
+        runs with no file of a given kind) under ``file:`` keys; files are
+        immutable once injected, so only :meth:`inject` invalidates.
+        """
+        if self.cache is not None:
+            return self.cache.get_or_load(
+                f"file:{run_number}:{version}:{kind}",
+                lambda: self._file_row_uncached(run_number, version, kind),
+            )
+        return self._file_row_uncached(run_number, version, kind)
+
+    def _file_row_uncached(self, run_number: int, version: str, kind: str):
+        row = self.db.query_one(
             "SELECT * FROM files WHERE run_number = ? AND version = ? AND kind = ?",
             (run_number, version, kind),
         )
+        return None if row is None else dict(row)
 
     def _touch_file(self, row) -> None:
         """Hook called before a registered file is read.

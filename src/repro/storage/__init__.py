@@ -15,6 +15,7 @@ from repro.storage.media import (
     StoredFile,
     checksum_for,
 )
+from repro.storage.recall import RecallDrainReport, RecallQueue
 from repro.storage.tape import RoboticTapeLibrary, TapeStats
 
 __all__ = [
@@ -36,6 +37,8 @@ __all__ = [
     "Medium",
     "StoredFile",
     "checksum_for",
+    "RecallDrainReport",
+    "RecallQueue",
     "RoboticTapeLibrary",
     "TapeStats",
 ]

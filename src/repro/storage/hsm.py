@@ -236,9 +236,21 @@ class HierarchicalStore:
 
     def pin_set(self, names: List[str]) -> Duration:
         """Pre-stage a working set into cache (batched, mount-efficient)."""
+        _, elapsed = self.recall_set(names)
+        return elapsed
+
+    def recall_set(self, names: List[str]) -> Tuple[List[StoredFile], Duration]:
+        """Batched recall that also *returns* the files it staged.
+
+        The serving-path variant of :meth:`pin_set`: a caller holding a
+        queue of cold requests gets the recalled file objects directly,
+        so it can serve them even when the set is larger than the disk
+        tier (re-reading through the cache would recall evicted members
+        a second time).  Already-cached names are skipped, not returned.
+        """
         to_recall = [name for name in names if name not in self._cache]
         if not to_recall:
-            return Duration.zero()
+            return [], Duration.zero()
         files, elapsed = self.library.recall_batch(to_recall)
         for file in files:
             self.metrics.counter("hsm.misses").inc()
@@ -253,4 +265,4 @@ class HierarchicalStore:
             self._make_room(file.size)
             self._cache[file.name] = file.size
         self.metrics.gauge("hsm.recall_seconds").add(elapsed.seconds)
-        return elapsed
+        return files, elapsed

@@ -24,7 +24,12 @@ from repro.db.schema import Schema, apply_schema, column
 
 
 def weblab_schema() -> Schema:
-    schema = Schema("weblab", version=1)
+    # v2 added the two *covering* indexes for the hot serving queries
+    # (retro page resolution and outlink navigation): they carry every
+    # selected column, so sqlite answers from the index b-tree alone and
+    # never touches the table — asserted via EXPLAIN QUERY PLAN in
+    # tests/weblab/test_serving_cache.py.
+    schema = Schema("weblab", version=2)
     schema.table(
         "crawls",
         [
@@ -48,7 +53,14 @@ def weblab_schema() -> Schema:
             column("content_hash", "TEXT", "NOT NULL"),
         ],
         constraints=["UNIQUE(url, crawl_index)"],
-        indexes=[("url", "fetched_at"), ("domain",), ("crawl_index",), ("tld",)],
+        indexes=[
+            ("url", "fetched_at"),
+            ("domain",),
+            ("crawl_index",),
+            ("tld",),
+            # Covering: page_pointer_as_of reads only these four columns.
+            ("url", "fetched_at", "crawl_index", "content_hash"),
+        ],
     )
     schema.table(
         "links",
@@ -58,7 +70,14 @@ def weblab_schema() -> Schema:
             column("src_url", "TEXT", "NOT NULL"),
             column("dst_url", "TEXT", "NOT NULL"),
         ],
-        indexes=[("crawl_index", "src_url"), ("crawl_index", "dst_url")],
+        indexes=[
+            ("crawl_index", "src_url"),
+            ("crawl_index", "dst_url"),
+            # Covering: the outlink query reads only these columns.  ``id``
+            # sits before ``dst_url`` so index order is insertion order —
+            # the query's ORDER BY id costs no sort step.
+            ("crawl_index", "src_url", "id", "dst_url"),
+        ],
     )
     return schema
 
@@ -141,6 +160,33 @@ class WebLabDatabase:
             .limit(1)
             .run_one(self.db)
         )
+
+    def page_pointer_as_of(self, url: str, as_of: float) -> Optional[Dict[str, object]]:
+        """The serving-path resolution: just the columns the retro browser
+        needs, shaped so the covering index answers the query alone."""
+        row = self.db.query_one(
+            "SELECT url, fetched_at, crawl_index, content_hash FROM pages "
+            "WHERE url = ? AND fetched_at <= ? ORDER BY fetched_at DESC LIMIT 1",
+            (url, as_of),
+        )
+        if row is None:
+            return None
+        return {
+            "url": row["url"],
+            "fetched_at": row["fetched_at"],
+            "crawl_index": row["crawl_index"],
+            "content_hash": row["content_hash"],
+        }
+
+    def outlinks(self, crawl_index: int, src_url: str) -> List[str]:
+        """Destination URLs of one page in one crawl, in load order
+        (index-only query; the ORDER BY rides the covering index)."""
+        rows = self.db.query(
+            "SELECT dst_url FROM links WHERE crawl_index = ? AND src_url = ? "
+            "ORDER BY id",
+            (crawl_index, src_url),
+        )
+        return [row["dst_url"] for row in rows]
 
     def captures_of(self, url: str) -> List[float]:
         rows = self.db.query(

@@ -19,6 +19,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.errors import WebLabError
+from repro.core.readcache import ReadCache
 from repro.core.shards import map_shards
 from repro.core.telemetry import MetricsRegistry, Telemetry, get_telemetry
 from repro.core.units import DataSize, Duration
@@ -59,12 +60,17 @@ class WebLabBuildReport:
 class WebLab:
     """One WebLab installation: database + page store + services."""
 
-    def __init__(self, root: Union[str, Path], telemetry: Optional[Telemetry] = None):
+    def __init__(
+        self,
+        root: Union[str, Path],
+        telemetry: Optional[Telemetry] = None,
+        cache: Optional[ReadCache] = None,
+    ):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.database = WebLabDatabase(self.root / "weblab.db")
         self.pagestore = PageStore(self.root / "pages")
-        self.services = WebLabServices(self, telemetry=telemetry)
+        self.services = WebLabServices(self, telemetry=telemetry, cache=cache)
 
     def close(self) -> None:
         self.database.close()
@@ -82,11 +88,23 @@ class WebLabServices:
     Every facade call is metered: a per-method ``service.calls.<method>``
     counter in the facade's registry, plus a ``service.call`` event on the
     telemetry bus — the Web-server access log of the simulated lab.
+
+    An optional :class:`ReadCache` accelerates the hot read paths: retro
+    browsing/navigation (pointer, outlink, and content tiers inside the
+    browser) and subset extraction (keyed on the subset name plus the
+    criteria digest).  With ``cache=None`` every call goes to the
+    database and page store, exactly as before.
     """
 
-    def __init__(self, weblab: WebLab, telemetry: Optional[Telemetry] = None):
+    def __init__(
+        self,
+        weblab: WebLab,
+        telemetry: Optional[Telemetry] = None,
+        cache: Optional[ReadCache] = None,
+    ):
         self._weblab = weblab
-        self._retro = RetroBrowser(weblab.database, weblab.pagestore)
+        self.cache = cache
+        self._retro = RetroBrowser(weblab.database, weblab.pagestore, cache=cache)
         self.metrics = MetricsRegistry()
         self._telemetry = telemetry if telemetry is not None else get_telemetry()
 
@@ -120,8 +138,21 @@ class WebLabServices:
 
     # -- subsets ---------------------------------------------------------------
     def extract_subset(self, name: str, criteria: SubsetCriteria) -> int:
+        """Materialize (or re-serve) a subset view; returns its row count.
+
+        With a cache attached, repeating the same (name, criteria) pair
+        skips the view DDL and count query — the view from the first call
+        is still in place.  After loading new pages, call
+        ``cache.invalidate_prefix("subset:")`` to force re-extraction.
+        """
         self._record("extract_subset", subset=name)
-        return extract_subset(self._weblab.database, name, criteria)
+        if self.cache is None:
+            return extract_subset(self._weblab.database, name, criteria)
+        count = self.cache.get_or_load(
+            f"subset:{name}:{criteria.cache_token()}",
+            lambda: extract_subset(self._weblab.database, name, criteria),
+        )
+        return int(count)  # type: ignore[arg-type]
 
     def subsets(self) -> List[str]:
         self._record("subsets")

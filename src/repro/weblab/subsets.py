@@ -13,6 +13,8 @@ relational database.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -51,6 +53,22 @@ class SubsetCriteria:
         if self.fetched_before is not None:
             query = query.where("fetched_at <= ?", self.fetched_before)
         return query
+
+    def cache_token(self) -> str:
+        """Stable digest of the criteria, for read-cache keys."""
+        payload = json.dumps(
+            {
+                "domains": list(self.domains),
+                "tlds": list(self.tlds),
+                "mime_prefix": self.mime_prefix,
+                "crawl_indexes": list(self.crawl_indexes),
+                "fetched_after": self.fetched_after,
+                "fetched_before": self.fetched_before,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
 def _validate_view_name(name: str) -> str:

@@ -110,6 +110,17 @@ class TestEventBus:
         ):
             assert kind in EVENT_KINDS
 
+    def test_event_kinds_cover_the_serving_vocabulary(self):
+        for kind in (
+            "workload.request",
+            "readcache.hit",
+            "readcache.miss",
+            "readcache.admit",
+            "readcache.evict",
+            "serve.rejected",
+        ):
+            assert kind in EVENT_KINDS
+
 
 class TestSimClock:
     def test_advances_and_stamps_events(self):
@@ -316,6 +327,40 @@ class TestJsonlPersistence:
         assert attrs[1]["attempt"] == 2.0
         assert attrs[2]["reason"] == "beam culled"
         assert [event["seq"] for event in stripped] == [0, 1, 2, 3]
+        assert stripped == strip_wall_clock(bus.events())
+
+    def test_roundtrip_with_serving_kinds(self, tmp_path):
+        """Logs carrying the C21 serving-era kinds (workload requests,
+        read-cache traffic, admission rejections) survive write/read
+        exactly and strip to wall-clock-free canonical form."""
+        bus = Telemetry()
+        bus.clock.advance(0.5)
+        bus.emit("workload.request", "browse", seq=0, tenant="crawler", key="u1")
+        bus.emit("readcache.miss", "readcache", key="asof:u1@3.0")
+        bus.emit("readcache.admit", "readcache", key="asof:u1@3.0")
+        bus.clock.advance(0.25)
+        bus.emit("workload.request", "browse", seq=1, tenant="crawler", key="u1")
+        bus.emit("readcache.hit", "readcache", key="asof:u1@3.0")
+        bus.emit("readcache.evict", "readcache", key="asof:u0@1.0")
+        bus.emit("serve.rejected", "browse", seq=2, tenant="storm")
+        path = tmp_path / "serving.jsonl"
+        assert write_event_log(path, bus) == 7
+        restored = read_event_log(path)
+        assert restored == bus.events()
+        stripped = strip_wall_clock(restored)
+        assert [event["kind"] for event in stripped] == [
+            "workload.request",
+            "readcache.miss",
+            "readcache.admit",
+            "workload.request",
+            "readcache.hit",
+            "readcache.evict",
+            "serve.rejected",
+        ]
+        assert all("wall_time" not in event for event in stripped)
+        assert stripped[0]["sim_time"] == 0.5
+        assert stripped[3]["attrs"]["seq"] == 1
+        assert stripped[6]["attrs"]["tenant"] == "storm"
         assert stripped == strip_wall_clock(bus.events())
 
 
