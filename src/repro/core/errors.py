@@ -133,3 +133,8 @@ class IncrementalError(ReproError):
 class WorkloadError(ReproError):
     """Workload-engine misuse: malformed spec or trace, unknown replay op,
     or non-monotone arrivals fed to admission control."""
+
+
+class OpsError(ReproError):
+    """Operations-console misuse: a corrupt interior log line, a malformed
+    quality spec or alert rule, or a projection the store cannot serve."""

@@ -84,6 +84,10 @@ EVENT_KINDS = frozenset(
         "readcache.admit",
         "readcache.evict",
         "serve.rejected",
+        "ops.rollup",
+        "ops.report",
+        "alert.raised",
+        "alert.cleared",
     }
 )
 
@@ -552,21 +556,53 @@ def write_event_log(
     return len(events)
 
 
-def read_event_log(path: Union[str, Path]) -> List[TelemetryEvent]:
-    """Load a JSONL event log back into :class:`TelemetryEvent` objects."""
-    events: List[TelemetryEvent] = []
-    with Path(path).open("r", encoding="utf-8") as handle:
+class EventLog(List[TelemetryEvent]):
+    """A loaded event log: a plain event list plus read accounting.
+
+    ``truncated_lines`` counts trailing lines that could not be parsed —
+    the signature a writer crashed mid-append and left a torn final
+    record.  Such a line is *skipped*, not raised, so an operations
+    reader can always serve the intact prefix of a live log; the count
+    keeps the skip visible instead of silent.
+    """
+
+    __slots__ = ("truncated_lines",)
+
+    def __init__(
+        self,
+        events: Iterable[TelemetryEvent] = (),
+        truncated_lines: int = 0,
+    ):
+        super().__init__(events)
+        self.truncated_lines = truncated_lines
+
+
+def read_event_log(path: Union[str, Path]) -> EventLog:
+    """Load a JSONL event log back into :class:`TelemetryEvent` objects.
+
+    A torn *final* line (crash mid-write) is skipped and accounted in
+    the returned log's ``truncated_lines``; invalid JSON anywhere else
+    is corruption and still raises :class:`TelemetryError`.
+    """
+    path = Path(path)
+    lines: List[Tuple[int, str]] = []
+    with path.open("r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
             line = line.strip()
-            if not line:
+            if line:
+                lines.append((line_number, line))
+    events = EventLog()
+    for index, (line_number, line) in enumerate(lines):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if index == len(lines) - 1:
+                events.truncated_lines += 1
                 continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise TelemetryError(
-                    f"{path}:{line_number}: not valid JSON: {exc}"
-                ) from exc
-            events.append(TelemetryEvent.from_dict(record))
+            raise TelemetryError(
+                f"{path}:{line_number}: not valid JSON: {exc}"
+            ) from exc
+        events.append(TelemetryEvent.from_dict(record))
     return events
 
 

@@ -1,0 +1,99 @@
+"""Operations console: rollups, quality dashboard, reports, alerting.
+
+The read side of the telemetry substrate.  Pipelines append typed JSONL
+event logs; this package turns them into an operations surface:
+
+* :mod:`repro.ops.rollup` — fold raw events into cached, content-digested,
+  incrementally-updatable quality projections;
+* :mod:`repro.ops.dashboard` — grade projections against per-channel
+  green/yellow/red threshold specs;
+* :mod:`repro.ops.report` — render the byte-reproducible nightly HTML
+  report with trend deltas against the previous night;
+* :mod:`repro.ops.alerts` — deterministic threshold / rate-of-change /
+  staleness alerting with exact dedup and flap accounting;
+* ``python -m repro.ops`` — the ``report`` / ``status`` / ``alerts`` CLI.
+"""
+
+from typing import Tuple
+
+from repro.ops.alerts import (
+    Alert,
+    AlertEvaluator,
+    AlertRule,
+    AlertTransition,
+    default_alert_rules,
+)
+from repro.ops.dashboard import (
+    STATUS_ORDER,
+    ChannelPanel,
+    Dashboard,
+    MetricCell,
+    MetricSpec,
+    QualitySpec,
+    build_dashboard,
+    dashboard_snapshot,
+    status_rank,
+    worst_status,
+)
+from repro.ops.report import load_snapshot, render_report, write_report
+from repro.ops.rollup import (
+    DEFAULT_WINDOW_S,
+    PROJECTION_SCHEMA,
+    UNATTRIBUTED,
+    FlowQuality,
+    QualityCounts,
+    RollupProjection,
+    build_rollup,
+    flow_of,
+    fold_events,
+    merge_projections,
+    scan_log,
+)
+
+
+def default_quality_specs() -> Tuple[QualitySpec, ...]:
+    """The stock per-pipeline channel specs, in dashboard order.
+
+    Imported lazily from the pipeline packages so ``repro.ops`` never
+    drags all three pipelines in at import time (and so a pipeline
+    package can import ``repro.ops`` types without a cycle).
+    """
+    from repro.arecibo.quality import quality_spec as arecibo_spec
+    from repro.cleo.quality import quality_spec as cleo_spec
+    from repro.weblab.quality import quality_spec as weblab_spec
+
+    return (arecibo_spec(), cleo_spec(), weblab_spec())
+
+
+__all__ = [
+    "Alert",
+    "AlertEvaluator",
+    "AlertRule",
+    "AlertTransition",
+    "default_alert_rules",
+    "STATUS_ORDER",
+    "ChannelPanel",
+    "Dashboard",
+    "MetricCell",
+    "MetricSpec",
+    "QualitySpec",
+    "build_dashboard",
+    "dashboard_snapshot",
+    "status_rank",
+    "worst_status",
+    "load_snapshot",
+    "render_report",
+    "write_report",
+    "DEFAULT_WINDOW_S",
+    "PROJECTION_SCHEMA",
+    "UNATTRIBUTED",
+    "FlowQuality",
+    "QualityCounts",
+    "RollupProjection",
+    "build_rollup",
+    "default_quality_specs",
+    "flow_of",
+    "fold_events",
+    "merge_projections",
+    "scan_log",
+]

@@ -1,5 +1,6 @@
 """The telemetry substrate: bus, instruments, spans, and the JSONL log."""
 
+import json
 import threading
 
 import pytest
@@ -282,11 +283,39 @@ class TestJsonlPersistence:
             bus.events()
         )
 
-    def test_read_rejects_bad_json(self, tmp_path):
+    def test_read_rejects_bad_json_mid_log(self, tmp_path):
+        """Invalid JSON *before* the final line is corruption, not a
+        crash-mid-write truncation: it still raises."""
+        bus = self.make_log()
         path = tmp_path / "bad.jsonl"
-        path.write_text('{"seq": 0}\nnot json\n')
-        with pytest.raises(TelemetryError):
+        good = "\n".join(
+            json.dumps(event.to_dict()) for event in bus.events()
+        )
+        path.write_text("not json\n" + good + "\n")
+        with pytest.raises(TelemetryError, match="not valid JSON"):
             read_event_log(path)
+
+    def test_read_skips_truncated_trailing_line(self, tmp_path):
+        """A torn final line (writer crashed mid-append) is skipped and
+        counted in ``truncated_lines`` instead of raising."""
+        bus = self.make_log()
+        path = tmp_path / "torn.jsonl"
+        write_event_log(path, bus)
+        whole = path.read_text()
+        last_line = whole.rstrip("\n").rsplit("\n", 1)[-1]
+        torn = whole[: len(whole) - len(last_line) - 1] + last_line[: len(last_line) // 2]
+        path.write_text(torn)
+        events = read_event_log(path)
+        assert events == bus.events()[:-1]
+        assert events.truncated_lines == 1
+
+    def test_read_intact_log_reports_zero_truncated(self, tmp_path):
+        bus = self.make_log()
+        path = tmp_path / "whole.jsonl"
+        write_event_log(path, bus)
+        events = read_event_log(path)
+        assert events.truncated_lines == 0
+        assert events == bus.events()
 
     def test_roundtrip_with_fault_retry_degraded_kinds(self, tmp_path):
         """Logs carrying the recovery-era event kinds survive the
@@ -362,6 +391,59 @@ class TestJsonlPersistence:
         assert stripped[3]["attrs"]["seq"] == 1
         assert stripped[6]["attrs"]["tenant"] == "storm"
         assert stripped == strip_wall_clock(bus.events())
+
+    def test_roundtrip_with_ops_and_alert_kinds(self, tmp_path):
+        """Logs carrying the operations-console kinds (rollup builds,
+        report renders, alert transitions) survive write/read exactly and
+        strip to wall-clock-free canonical form."""
+        bus = Telemetry()
+        bus.clock.advance(10.0)
+        bus.emit(
+            "ops.rollup",
+            "telemetry.jsonl",
+            events=128,
+            bytes=16384,
+            source="cold",
+            flows=2,
+        )
+        bus.emit("ops.report", "nightly", channels=3, overall="yellow")
+        bus.emit(
+            "alert.raised",
+            "quality-red:arecibo",
+            rule="quality-red",
+            channel="arecibo",
+            metric="completeness",
+            value=0.5,
+            flap=False,
+        )
+        bus.clock.advance(5.0)
+        bus.emit(
+            "alert.cleared",
+            "quality-red:arecibo",
+            rule="quality-red",
+            channel="arecibo",
+        )
+        path = tmp_path / "ops.jsonl"
+        assert write_event_log(path, bus) == 4
+        restored = read_event_log(path)
+        assert restored == bus.events()
+        assert restored.truncated_lines == 0
+        stripped = strip_wall_clock(restored)
+        assert [event["kind"] for event in stripped] == [
+            "ops.rollup",
+            "ops.report",
+            "alert.raised",
+            "alert.cleared",
+        ]
+        assert all("wall_time" not in event for event in stripped)
+        assert stripped[0]["attrs"]["source"] == "cold"
+        assert stripped[2]["attrs"]["value"] == 0.5
+        assert stripped[3]["sim_time"] == 15.0
+        assert stripped == strip_wall_clock(bus.events())
+
+    def test_event_kinds_cover_the_ops_vocabulary(self):
+        for kind in ("ops.rollup", "ops.report", "alert.raised", "alert.cleared"):
+            assert kind in EVENT_KINDS
 
 
 class TestLogViews:
