@@ -18,7 +18,7 @@ import time
 from pathlib import Path
 
 from repro.analysis.flowcheck import check_flow, figure_flows
-from repro.analysis.linter import Linter, registered_rules, summary_counts
+from repro.analysis.linter import Linter, module_rules, summary_counts
 
 SRC = Path(__file__).resolve().parents[1] / "src"
 
@@ -43,7 +43,9 @@ def test_c18_linter_self_check(report_rows):
     counts = summary_counts(findings)
 
     rows = []
-    for cls in registered_rules():
+    # Module (RPR00x) rules only: the whole-program RPR1xx pass has its
+    # own benchmark (C23) and postdates this table.
+    for cls in module_rules():
         bucket = counts.get(cls.code, {"flagged": 0, "suppressed": 0})
         rows.append(
             {
@@ -58,9 +60,11 @@ def test_c18_linter_self_check(report_rows):
 
     # The acceptance bar: the codebase passes its own linter.
     assert all(row["after_cleanup"] == 0 for row in rows)
-    # The cleanup converted real findings into fixes or visible noqa.
+    # The cleanup converted real findings into fixes or visible noqa;
+    # later subsystems (workload replay, ops console) added five more
+    # accounted wall-latency probes — test_selfcheck pins each site.
     assert sum(row["at_introduction"] for row in rows) == 5
-    assert sum(row["suppressed_now"] for row in rows) == 5
+    assert sum(row["suppressed_now"] for row in rows) == 10
 
     started = time.perf_counter()
     flow_issues = {

@@ -1,0 +1,145 @@
+"""C23 — the whole-program pass: graph size, pass cost, and what the
+interprocedural rules catch that the per-module rules cannot.
+
+Three tables:
+
+* **Graph** — what ``Program.build`` + ``EffectMap.compute`` recover
+  from ``src/repro``: modules, functions, call edges, cache/shard
+  bindings.  If binding detection regresses, the deep rules silently
+  check nothing; these floors make that loud.
+* **Pass cost** — wall time for call-graph construction, effect
+  fixpoint, and the full ``--deep`` rule pass: the price the CI
+  ``deep-analysis`` job pays on every push.
+* **Seeded bugs** — the acceptance demonstration: cross-function bugs
+  planted in a synthetic tree are found by RPR101/RPR102 while the
+  shallow RPR001-005 pass reports nothing.
+"""
+
+import textwrap
+import time
+
+from pathlib import Path
+
+from repro.analysis.deep import DeepAnalysis, DeepLinter
+from repro.analysis.effects import EffectMap
+from repro.analysis.linter import Linter, unsuppressed
+
+SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+# Each seeded tree hides the bug behind a function boundary: the config
+# read, global mutation, or RNG draw is in a helper, the cache/shard
+# registration in another function (or module) entirely.
+SEEDED = {
+    "RPR101": """
+    def _threshold(config):
+        return config.snr_threshold
+
+    def search(items, config):
+        return [i for i in items if i > _threshold(config)]
+
+    def register(flow, config):
+        flow.stage("search", lambda items: search(items, config),
+                   cache_params={"seed": config.seed})
+    """,
+    "RPR102": """
+    SEEN = {}
+
+    def _record(key, value):
+        SEEN[key] = value
+
+    def shard_fn(task):
+        _record(task.key, task.value)
+        return task.value
+
+    def driver(ctx, items):
+        ctx.map_shards(shard_fn, items)
+    """,
+    "RPR103": """
+    import threading
+
+    LOCK = threading.Lock()
+
+    def shard_fn(task):
+        with LOCK:
+            return task
+
+    def driver(ctx, items):
+        ctx.map_shards(shard_fn, items)
+    """,
+    "RPR104": """
+    import random
+
+    def _jitter(value):
+        # Locally suppressed — but the deep pass still sees the draw
+        # leaking into a cached transform two calls away.
+        return value + random.random()  # repro: noqa[RPR001]
+
+    def process(items, config):
+        return [_jitter(i) for i in items]
+
+    def register(flow, config):
+        flow.stage("process", lambda items: process(items, config),
+                   cache_params={"seed": config.seed})
+    """,
+}
+
+
+def test_c23_deep_analysis(report_rows, tmp_path):
+    started = time.perf_counter()
+    analysis = DeepAnalysis.build([SRC])
+    build_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    EffectMap.compute(analysis.program)
+    effects_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    findings, _ = DeepLinter().lint_paths([SRC])
+    pass_seconds = time.perf_counter() - started
+
+    stats = analysis.stats()
+    report_rows(
+        "C23: whole-program graph over src/repro",
+        [
+            {"metric": key, "value": stats[key]}
+            for key in sorted(stats)
+        ],
+    )
+    # Floors, not exact pins: the tree grows, the graph must keep up.
+    assert stats["modules"] >= 100
+    assert stats["functions"] >= 1200
+    assert stats["call_edges"] >= 900
+    assert stats["cache_bindings"] >= 14
+    assert stats["shard_bindings"] >= 4
+    assert unsuppressed(findings) == []
+
+    report_rows(
+        "C23: deep-pass cost",
+        [
+            {"pass": "call graph", "wall_s": round(build_seconds, 3)},
+            {"pass": "effect fixpoint", "wall_s": round(effects_seconds, 3)},
+            {"pass": "full --deep lint", "wall_s": round(pass_seconds, 3)},
+        ],
+    )
+    assert pass_seconds < 30.0  # keeps the CI job honest
+
+    rows = []
+    for code, source in SEEDED.items():
+        tree = tmp_path / code
+        tree.mkdir()
+        (tree / "m.py").write_text(textwrap.dedent(source), encoding="utf-8")
+        shallow = unsuppressed(Linter().lint_paths([tree]))
+        deep, _ = DeepLinter().lint_paths([tree])
+        deep_hits = [f for f in unsuppressed(deep) if f.code == code]
+        rows.append(
+            {
+                "seeded_bug": code,
+                "shallow_findings": len(shallow),
+                "deep_findings": len(deep_hits),
+            }
+        )
+    report_rows("C23: seeded cross-function bugs", rows)
+    # The acceptance bar: every seeded bug is invisible to the module
+    # rules and caught by exactly the intended interprocedural rule.
+    assert all(row["shallow_findings"] == 0 for row in rows)
+    assert all(row["deep_findings"] == 1 for row in rows)

@@ -1,0 +1,137 @@
+"""Findings baseline + ratchet: suppression debt can only shrink.
+
+A fresh interprocedural pass over a grown codebase may surface findings
+that predate it.  Failing CI on all of them at once blocks unrelated
+work; silently ignoring them lets new debt hide among the old.  The
+ratchet threads that needle the way large linters (and mypy's
+``--any-exprs-report`` cousins) do:
+
+* ``--write-baseline`` records every current unsuppressed finding in a
+  committed JSON file, keyed by *stable identity* — rule code, file
+  path, and message, never line numbers, so reformatting does not churn
+  the baseline;
+* ``--baseline`` re-runs the pass and fails only on **new** findings
+  (anything beyond the baselined count for its key) or on **stale**
+  entries (a baselined finding that no longer occurs — the fix must be
+  accompanied by regenerating the baseline, so the recorded debt always
+  matches reality and can only go down).
+
+Suppressed findings (noqa / allowlist) never enter the baseline; they
+are already visibly accounted at their site.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple, Union
+
+from repro.analysis.linter import Finding
+
+BASELINE_VERSION = 1
+
+
+def finding_key(finding: Finding) -> str:
+    """Stable identity: code, normalized path, message — no line/col."""
+    path = finding.path.replace("\\", "/")
+    return f"{finding.code}::{path}::{finding.message}"
+
+
+def _flagged_counts(findings: Iterable[Finding]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        if finding.suppressed:
+            continue
+        key = finding_key(finding)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def write_baseline(
+    findings: Iterable[Finding], path: Union[str, Path]
+) -> Dict[str, int]:
+    """Record current unsuppressed findings; returns the entries."""
+    entries = _flagged_counts(findings)
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return entries
+
+
+def load_baseline(path: Union[str, Path]) -> Dict[str, int]:
+    """Load a baseline file; raises ValueError on malformed content."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: not a version-{BASELINE_VERSION} analysis baseline"
+        )
+    entries = data.get("entries")
+    if not isinstance(entries, dict) or not all(
+        isinstance(k, str) and isinstance(v, int) for k, v in entries.items()
+    ):
+        raise ValueError(f"{path}: malformed baseline entries")
+    return dict(entries)
+
+
+@dataclass
+class RatchetResult:
+    """Outcome of checking findings against a baseline."""
+
+    #: Findings beyond the baselined count for their key — CI failures.
+    new: List[Finding] = field(default_factory=list)
+    #: key -> (baselined, seen) where seen < baselined — also failures:
+    #: the fix landed but the baseline was not regenerated.
+    stale: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    #: Findings absorbed by the baseline.
+    matched: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.new and not self.stale
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "new": [finding.to_dict() for finding in self.new],
+            "stale": [
+                {"key": key, "baselined": baselined, "seen": seen}
+                for key, (baselined, seen) in sorted(self.stale.items())
+            ],
+            "matched": self.matched,
+            "ok": self.ok,
+        }
+
+
+def apply_baseline(
+    findings: Iterable[Finding], entries: Dict[str, int]
+) -> RatchetResult:
+    """Split unsuppressed findings into baselined vs new; detect stale."""
+    result = RatchetResult()
+    grouped: Dict[str, List[Finding]] = {}
+    for finding in findings:
+        if finding.suppressed:
+            continue
+        grouped.setdefault(finding_key(finding), []).append(finding)
+    for key in sorted(set(grouped) | set(entries)):
+        seen = sorted(
+            grouped.get(key, []), key=lambda f: (f.path, f.line, f.col)
+        )
+        allowed = entries.get(key, 0)
+        result.matched += min(len(seen), allowed)
+        if len(seen) > allowed:
+            result.new.extend(seen[allowed:])
+        elif len(seen) < allowed:
+            result.stale[key] = (allowed, len(seen))
+    result.new.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return result
+
+
+__all__ = [
+    "BASELINE_VERSION",
+    "RatchetResult",
+    "apply_baseline",
+    "finding_key",
+    "load_baseline",
+    "write_baseline",
+]

@@ -1,0 +1,77 @@
+"""The deep pass: whole-program lint orchestration.
+
+``python -m repro.analysis --deep`` runs the per-module rules *and* the
+whole-program rules (RPR1xx) over the same paths: the module rules via
+the ordinary :class:`~repro.analysis.linter.Linter`, the program rules
+against one shared :class:`DeepAnalysis` (call graph + effect
+summaries), so the expensive fixpoint is computed once however many
+rules consume it.  Findings from both halves share the reporters, the
+noqa machinery, and — in CI — the baseline ratchet
+(:mod:`repro.analysis.baseline`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.callgraph import Program
+from repro.analysis.effects import EffectMap
+from repro.analysis.linter import (
+    Finding,
+    Linter,
+    module_rules,
+    program_rules,
+    select_rules,
+)
+
+
+@dataclass
+class DeepAnalysis:
+    """Everything a program rule reasons over, built once per run."""
+
+    program: Program
+    effects: EffectMap
+
+    @classmethod
+    def build(cls, paths: Sequence[Union[str, Path]]) -> "DeepAnalysis":
+        program = Program.build(paths)
+        return cls(program=program, effects=EffectMap.compute(program))
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "modules": len(self.program.modules),
+            "functions": len(self.program.functions),
+            "classes": len(self.program.classes),
+            "call_edges": sum(
+                len(callees) for callees in self.program.edges.values()
+            ),
+            "cache_bindings": len(self.program.cache_bindings),
+            "shard_bindings": len(self.program.shard_bindings),
+        }
+
+
+class DeepLinter:
+    """Runs module rules and program rules as one pass."""
+
+    def __init__(self, select: Optional[Iterable[str]] = None):
+        select = list(select) if select is not None else None
+        self.module_rule_classes = select_rules(module_rules(), select)
+        self.program_rule_classes = select_rules(program_rules(), select)
+
+    def lint_paths(
+        self, paths: Sequence[Union[str, Path]]
+    ) -> Tuple[List[Finding], DeepAnalysis]:
+        # The shallow half also surfaces parse errors (RPR000); the
+        # program index skips unparseable files, so this is the one
+        # place they get reported.
+        findings = Linter(rules=self.module_rule_classes).lint_paths(paths)
+        analysis = DeepAnalysis.build(paths)
+        for rule_cls in self.program_rule_classes:
+            findings.extend(rule_cls().check_program(analysis))
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+        return findings, analysis
+
+
+__all__ = ["DeepAnalysis", "DeepLinter"]

@@ -76,7 +76,15 @@ class Finding:
 
 
 class ModuleSource:
-    """A parsed source file plus its per-line noqa suppressions."""
+    """A parsed source file plus its per-line noqa suppressions.
+
+    A ``# repro: noqa[CODE]`` comment anchors to its *statement*, not just
+    its physical line: a finding anywhere on a multi-line registration or
+    call is silenced by a noqa on any of the statement's lines (most
+    naturally the last, where black puts the closing paren).  Compound
+    statements (``for``/``if``/``def``/...) spread only over their header
+    lines — a noqa inside a loop body never silences the ``for`` line.
+    """
 
     def __init__(self, path: Union[str, Path], text: str):
         self.path = str(path)
@@ -92,13 +100,42 @@ class ModuleSource:
                     if code.strip()
                 )
                 self._noqa[lineno] = codes
+        self._spread_noqa_over_statements()
+
+    def _spread_noqa_over_statements(self) -> None:
+        """Union each statement's noqa codes across its physical lines."""
+        if not self._noqa:
+            return
+        spans: List[Tuple[int, int]] = []
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.stmt):
+                continue
+            end = getattr(node, "end_lineno", None) or node.lineno
+            for field in ("body", "orelse", "finalbody"):
+                block = getattr(node, field, None)
+                if block:
+                    end = min(end, block[0].lineno - 1)
+            handlers = getattr(node, "handlers", None)
+            if handlers:
+                end = min(end, handlers[0].lineno - 1)
+            if end > node.lineno:
+                spans.append((node.lineno, end))
+        for start, end in spans:
+            codes = frozenset().union(
+                *(self._noqa.get(line, frozenset()) for line in range(start, end + 1))
+            )
+            if not codes:
+                continue
+            for line in range(start, end + 1):
+                self._noqa[line] = self._noqa.get(line, frozenset()) | codes
 
     @classmethod
     def read(cls, path: Union[str, Path]) -> "ModuleSource":
         return cls(path, Path(path).read_text(encoding="utf-8"))
 
     def suppressed_codes(self, line: int) -> frozenset:
-        """Codes silenced by a ``# repro: noqa[...]`` comment on ``line``."""
+        """Codes silenced by a ``# repro: noqa[...]`` anchored to ``line``
+        (directly, or on any other line of the same statement)."""
         return self._noqa.get(line, frozenset())
 
 
@@ -141,6 +178,30 @@ class Rule:
         )
 
 
+class ProgramRule(Rule):
+    """Base class for whole-program (interprocedural) rules.
+
+    Module rules see one file at a time; program rules see a
+    :class:`repro.analysis.callgraph.Program` — every module under the
+    analyzed roots, the call graph over them, and the effect summaries
+    computed by :mod:`repro.analysis.effects` — and are run only by the
+    deep pass (``python -m repro.analysis --deep`` /
+    :class:`repro.analysis.deep.DeepLinter`).  They share the registry,
+    code space, noqa machinery, and reporters with module rules.
+
+    Subclasses implement :meth:`check_program`; :meth:`Rule.finding`
+    works unchanged because program findings still anchor to a concrete
+    (module, node) site — a stage registration, a ``map_shards`` call —
+    where an inline ``# repro: noqa[CODE]`` can silence them.
+    """
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        return iter(())  # program rules contribute nothing per-module
+
+    def check_program(self, program: "object") -> Iterator[Finding]:
+        raise NotImplementedError
+
+
 # -- registry -------------------------------------------------------------
 _REGISTRY: Dict[str, Type[Rule]] = {}
 
@@ -165,6 +226,46 @@ def registered_rules() -> List[Type[Rule]]:
     return [_REGISTRY[code] for code in sorted(_REGISTRY)]
 
 
+def module_rules() -> List[Type[Rule]]:
+    """Registered per-module rules (what a plain :class:`Linter` runs)."""
+    return [cls for cls in registered_rules() if not issubclass(cls, ProgramRule)]
+
+
+def program_rules() -> List[Type[Rule]]:
+    """Registered whole-program rules (what the deep pass runs)."""
+    return [cls for cls in registered_rules() if issubclass(cls, ProgramRule)]
+
+
+def select_rules(
+    classes: Sequence[Type[Rule]], select: Optional[Iterable[str]]
+) -> List[Type[Rule]]:
+    """Filter ``classes`` down to ``select``ed codes.
+
+    Unknown codes are an error naming the valid ones — a selector that
+    silently matches nothing would report "0 findings" and exit 0, the
+    worst possible failure mode for a CI gate.  Codes valid for the
+    *registry* but absent from ``classes`` (selecting a deep-only code
+    for a shallow run, say) are not an error here; callers decide whether
+    an empty selection is acceptable.
+    """
+    if select is None:
+        return list(classes)
+    wanted = {code.strip().upper() for code in select if code.strip()}
+    valid = {cls.code for cls in registered_rules()}
+    unknown = wanted - valid
+    if unknown:
+        raise ValueError(
+            f"unknown rule codes selected: {sorted(unknown)} "
+            f"(valid codes: {', '.join(sorted(valid))})"
+        )
+    if not wanted:
+        raise ValueError(
+            "empty rule selection "
+            f"(valid codes: {', '.join(sorted(valid))})"
+        )
+    return [cls for cls in classes if cls.code in wanted]
+
+
 # -- import resolution ----------------------------------------------------
 class ImportMap:
     """Maps local names to canonical dotted module paths.
@@ -174,9 +275,20 @@ class ImportMap:
     bare ``Random`` resolve to ``random.Random``.  Names not bound by an
     import resolve to ``None``, so locals shadowing module names (an
     ``rng`` variable, say) are never mistaken for module calls.
+
+    When the importing module's own dotted name is known (the whole-program
+    call graph knows it; per-file lint does not), ``module_name`` lets
+    relative imports resolve too: ``from .shards import map_shards`` inside
+    ``repro.core.engine`` binds ``map_shards`` to
+    ``repro.core.shards.map_shards``.
     """
 
-    def __init__(self, tree: ast.AST):
+    def __init__(
+        self,
+        tree: ast.AST,
+        module_name: Optional[str] = None,
+        is_package: bool = False,
+    ):
         self._aliases: Dict[str, str] = {}
         for node in ast.walk(tree):
             if isinstance(node, ast.Import):
@@ -187,11 +299,42 @@ class ImportMap:
                         root = alias.name.split(".")[0]
                         self._aliases[root] = root
             elif isinstance(node, ast.ImportFrom):
-                if node.level or node.module is None:
-                    continue  # relative imports never hit stdlib/numpy
+                base = node.module
+                if node.level:
+                    base = self._relative_base(
+                        module_name, is_package, node.level, node.module
+                    )
+                    if base is None:
+                        continue  # unknown package context
+                elif base is None:
+                    continue
                 for alias in node.names:
                     local = alias.asname or alias.name
-                    self._aliases[local] = f"{node.module}.{alias.name}"
+                    self._aliases[local] = f"{base}.{alias.name}"
+
+    @staticmethod
+    def _relative_base(
+        module_name: Optional[str],
+        is_package: bool,
+        level: int,
+        module: Optional[str],
+    ) -> Optional[str]:
+        """Package that a ``from ...x import y`` resolves against."""
+        if not module_name:
+            return None
+        # Level 1 resolves against the containing package (the module name
+        # itself for a package __init__); each further level strips one
+        # enclosing package — importlib's _resolve_name, statically.
+        parts = module_name.split(".")
+        strip = level if not is_package else level - 1
+        if strip > len(parts):
+            return None
+        base_parts = parts[: len(parts) - strip]
+        if not base_parts:
+            return None
+        if module:
+            base_parts.append(module)
+        return ".".join(base_parts)
 
     def resolve(self, node: ast.AST) -> Optional[str]:
         """Canonical dotted name of an attribute chain, or None."""
@@ -217,13 +360,8 @@ class Linter:
         rules: Optional[Sequence[Type[Rule]]] = None,
         select: Optional[Iterable[str]] = None,
     ):
-        classes = list(rules) if rules is not None else registered_rules()
-        if select is not None:
-            wanted = {code.strip().upper() for code in select}
-            unknown = wanted - {cls.code for cls in classes}
-            if unknown:
-                raise ValueError(f"unknown rule codes selected: {sorted(unknown)}")
-            classes = [cls for cls in classes if cls.code in wanted]
+        classes = list(rules) if rules is not None else module_rules()
+        classes = select_rules(classes, select)
         self.rules: List[Rule] = [cls() for cls in classes]
 
     def lint_file(self, path: Union[str, Path]) -> List[Finding]:
@@ -320,12 +458,16 @@ __all__: Tuple[str, ...] = (
     "Linter",
     "ModuleSource",
     "PARSE_ERROR_CODE",
+    "ProgramRule",
     "Rule",
+    "module_rules",
+    "program_rules",
     "register",
     "registered_rules",
     "render_json",
     "render_text",
     "report_dict",
+    "select_rules",
     "summary_counts",
     "unsuppressed",
 )

@@ -2,7 +2,10 @@
 
 Importing this package registers every rule with the framework registry
 (:func:`repro.analysis.linter.registered_rules` imports it lazily).
-Rule codes are stable and append-only:
+Rule codes are stable and append-only.  RPR0xx rules are per-module
+(one file at a time); RPR1xx rules are whole-program — they reason over
+the call graph and effect summaries and only run under
+``python -m repro.analysis --deep``:
 
 ========  ==========================  ==============================================
 code      name                        fires on
@@ -12,6 +15,10 @@ RPR002    wall-clock                  host-clock reads outside the telemetry sit
 RPR003    unregistered-telemetry-kind literal emit() kinds missing from EVENT_KINDS
 RPR004    unordered-iteration         set iteration feeding order-sensitive code
 RPR005    undeclared-cache-params     config-reading stages without cache_params
+RPR101    deep-cache-key              transitive config reads missing from cache_params
+RPR102    shard-safety                shard callables mutating shared state
+RPR103    process-boundary            unpicklable/unsafe captures crossing processes
+RPR104    deep-determinism            RNG/wall-clock reach into cached transforms
 ========  ==========================  ==============================================
 """
 
@@ -20,9 +27,17 @@ from repro.analysis.rules.ordering import UnorderedIterationRule
 from repro.analysis.rules.rng import UnseededRngRule
 from repro.analysis.rules.telemetry_kinds import TelemetryKindRule
 from repro.analysis.rules.wallclock import WallClockRule
+from repro.analysis.rules.deepcache import InterproceduralCacheKeyRule
+from repro.analysis.rules.shardsafety import ShardSafetyRule
+from repro.analysis.rules.picklesafety import ProcessBoundaryRule
+from repro.analysis.rules.deepdeterminism import TransitiveDeterminismRule
 
 __all__ = [
+    "InterproceduralCacheKeyRule",
+    "ProcessBoundaryRule",
+    "ShardSafetyRule",
     "TelemetryKindRule",
+    "TransitiveDeterminismRule",
     "UndeclaredCacheParamsRule",
     "UnorderedIterationRule",
     "UnseededRngRule",

@@ -24,31 +24,10 @@ import ast
 from typing import Iterator
 
 from repro.analysis.linter import Finding, ImportMap, ModuleSource, Rule, register
-
-#: Constructors that are safe *when given arguments* (a seed / bit
-#: generator); calling them with no arguments seeds from OS entropy.
-_SEEDED_CONSTRUCTORS = {
-    "numpy.random.default_rng",
-    "numpy.random.Generator",
-    "numpy.random.RandomState",
-    "numpy.random.SeedSequence",
-    "numpy.random.PCG64",
-    "numpy.random.PCG64DXSM",
-    "numpy.random.Philox",
-    "numpy.random.SFC64",
-    "numpy.random.MT19937",
-    "random.Random",
-}
-
-#: Never acceptable: OS-entropy sources with no seeding story at all.
-_ENTROPY_SOURCES = {
-    "random.SystemRandom",
-    "os.urandom",
-    "secrets.token_bytes",
-    "secrets.token_hex",
-    "secrets.randbelow",
-    "uuid.uuid4",
-}
+from repro.analysis.sites import (
+    ENTROPY_SOURCES as _ENTROPY_SOURCES,
+    SEEDED_CONSTRUCTORS as _SEEDED_CONSTRUCTORS,
+)
 
 
 @register

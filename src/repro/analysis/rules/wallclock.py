@@ -18,34 +18,13 @@ never enter a canonical event log) must carry an inline
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Tuple
+from typing import Iterator
 
 from repro.analysis.linter import Finding, ImportMap, ModuleSource, Rule, register
-
-_WALL_CLOCK_CALLS = {
-    "time.time",
-    "time.time_ns",
-    "time.monotonic",
-    "time.monotonic_ns",
-    "time.perf_counter",
-    "time.perf_counter_ns",
-    "time.process_time",
-    "time.process_time_ns",
-}
-
-#: Argless calls on these resolve "now" from the host clock.
-_DATETIME_NOW_CALLS = {
-    "datetime.datetime.now",
-    "datetime.datetime.today",
-    "datetime.datetime.utcnow",
-    "datetime.date.today",
-}
-
-#: The one sanctioned wall-clock site: ``wall_time=time.time()`` inside
-#: ``Telemetry.emit`` (repro/core/telemetry.py) — the single field the
-#: canonical log strips.
-SANCTIONED_SITES: Tuple[Tuple[str, str], ...] = (
-    ("repro/core/telemetry.py", "time.time"),
+from repro.analysis.sites import (
+    DATETIME_NOW_CALLS as _DATETIME_NOW_CALLS,
+    SANCTIONED_SITES,
+    WALL_CLOCK_CALLS as _WALL_CLOCK_CALLS,
 )
 
 

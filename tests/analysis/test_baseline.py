@@ -1,0 +1,170 @@
+"""Baseline ratchet: key stability, write/load/apply, and CLI exit codes."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis.__main__ import main
+from repro.analysis.baseline import (
+    apply_baseline,
+    finding_key,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.linter import Finding
+
+
+def finding(code="RPR101", path="src/m.py", message="msg", line=3,
+            suppressed=False):
+    return Finding(
+        code=code, rule="r", message=message, path=path, line=line,
+        col=0, suppressed=suppressed, suppression="noqa" if suppressed else "",
+    )
+
+
+class TestKeys:
+    def test_key_ignores_line_numbers(self):
+        a = finding(line=3)
+        b = finding(line=99)
+        assert finding_key(a) == finding_key(b)
+
+    def test_key_normalises_path_separators(self):
+        a = finding(path="src\\m.py")
+        b = finding(path="src/m.py")
+        assert finding_key(a) == finding_key(b)
+
+    def test_key_distinguishes_code_path_message(self):
+        base = finding()
+        assert finding_key(base) != finding_key(finding(code="RPR102"))
+        assert finding_key(base) != finding_key(finding(path="src/n.py"))
+        assert finding_key(base) != finding_key(finding(message="other"))
+
+
+class TestWriteLoadApply:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        findings = [finding(), finding(line=9), finding(code="RPR104")]
+        entries = write_baseline(findings, path)
+        assert entries == load_baseline(path)
+        assert entries[finding_key(finding())] == 2
+        result = apply_baseline(findings, entries)
+        assert result.ok
+        assert result.matched == 3
+
+    def test_suppressed_findings_never_enter_baseline(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        entries = write_baseline([finding(suppressed=True)], path)
+        assert entries == {}
+
+    def test_new_finding_detected(self):
+        result = apply_baseline([finding(), finding(code="RPR102")],
+                                {finding_key(finding()): 1})
+        assert not result.ok
+        assert [f.code for f in result.new] == ["RPR102"]
+        assert result.stale == {}
+
+    def test_count_growth_beyond_baseline_is_new(self):
+        result = apply_baseline([finding(), finding(line=9)],
+                                {finding_key(finding()): 1})
+        assert not result.ok
+        assert len(result.new) == 1
+
+    def test_stale_entry_detected(self):
+        gone = finding(code="RPR104")
+        result = apply_baseline([], {finding_key(gone): 1})
+        assert not result.ok
+        assert result.new == []
+        assert list(result.stale.values()) == [(1, 0)]
+
+    def test_suppressed_finding_does_not_match_baseline(self):
+        """Suppressing a baselined finding makes the entry stale — the
+        baseline shrinks instead of hiding dead debt."""
+        result = apply_baseline([finding(suppressed=True)],
+                                {finding_key(finding()): 1})
+        assert result.stale
+
+    def test_malformed_baseline_rejected(self, tmp_path):
+        for payload in (
+            '{"version": 99, "entries": {}}',
+            '{"entries": {}}',
+            '{"version": 1, "entries": [1, 2]}',
+            '{"version": 1, "entries": {"k": "x"}}',
+            "not json",
+        ):
+            path = tmp_path / "bad.json"
+            path.write_text(payload, encoding="utf-8")
+            with pytest.raises(ValueError):
+                load_baseline(path)
+
+
+class TestCLI:
+    BUGGY = """
+    def search(items, config):
+        return [i for i in items if i > config.snr_threshold]
+
+    def register(flow, config):
+        flow.stage("search", lambda items: search(items, config))
+    """
+
+    def write_tree(self, tmp_path):
+        (tmp_path / "m.py").write_text(
+            textwrap.dedent(self.BUGGY), encoding="utf-8"
+        )
+
+    def test_write_then_check_exits_zero(self, tmp_path, capsys):
+        self.write_tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main(["--deep", "--write-baseline", str(baseline),
+                     str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        assert main(["--deep", "--baseline", str(baseline),
+                     str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 matched, 0 new, 0 stale" in out
+
+    def test_new_finding_fails_ratchet(self, tmp_path, capsys):
+        self.write_tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text('{"version": 1, "entries": {}}', encoding="utf-8")
+        assert main(["--deep", "--baseline", str(baseline),
+                     str(tmp_path)]) == 1
+        assert "new:" in capsys.readouterr().out
+
+    def test_stale_entry_fails_ratchet(self, tmp_path, capsys):
+        (tmp_path / "m.py").write_text("x = 1\n", encoding="utf-8")
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps({"version": 1,
+                        "entries": {"RPR101::gone.py::old finding": 1}}),
+            encoding="utf-8",
+        )
+        assert main(["--deep", "--baseline", str(baseline),
+                     str(tmp_path)]) == 1
+        assert "stale:" in capsys.readouterr().out
+
+    def test_missing_baseline_is_usage_error(self, tmp_path, capsys):
+        (tmp_path / "m.py").write_text("x = 1\n", encoding="utf-8")
+        with pytest.raises(SystemExit) as exc:
+            main(["--deep", "--baseline", str(tmp_path / "nope.json"),
+                  str(tmp_path)])
+        assert exc.value.code == 2
+        assert "--write-baseline" in capsys.readouterr().err
+
+    def test_baseline_and_write_baseline_conflict(self, tmp_path, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--deep", "--baseline", "a.json",
+                  "--write-baseline", "b.json", str(tmp_path)])
+        assert exc.value.code == 2
+
+    def test_json_report_carries_ratchet_and_stats(self, tmp_path, capsys):
+        self.write_tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text('{"version": 1, "entries": {}}', encoding="utf-8")
+        main(["--deep", "--baseline", str(baseline), "--format", "json",
+              str(tmp_path)])
+        report = json.loads(capsys.readouterr().out)
+        assert report["baseline"]["new"]
+        assert not report["baseline"]["stale"]
+        assert report["deep"]["cache_bindings"] == 1

@@ -29,7 +29,18 @@ def lint_source(tmp_path, source, name="mod.py", **linter_kwargs):
 class TestRegistry:
     def test_all_shipped_rules_registered(self):
         codes = [cls.code for cls in registered_rules()]
-        assert codes == ["RPR001", "RPR002", "RPR003", "RPR004", "RPR005"]
+        assert codes == [
+            "RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
+            "RPR101", "RPR102", "RPR103", "RPR104",
+        ]
+
+    def test_module_and_program_rules_partition_registry(self):
+        from repro.analysis.linter import module_rules, program_rules
+
+        module_codes = [cls.code for cls in module_rules()]
+        program_codes = [cls.code for cls in program_rules()]
+        assert module_codes == ["RPR001", "RPR002", "RPR003", "RPR004", "RPR005"]
+        assert program_codes == ["RPR101", "RPR102", "RPR103", "RPR104"]
 
     def test_rules_have_names_and_descriptions(self):
         for cls in registered_rules():
@@ -52,6 +63,21 @@ class TestRegistry:
     def test_select_unknown_code_rejected(self):
         with pytest.raises(ValueError, match="RPR999"):
             Linter(select=["RPR999"])
+
+    def test_select_unknown_code_error_lists_valid_codes(self):
+        with pytest.raises(ValueError, match="RPR001.*RPR104"):
+            Linter(select=["RPR999"])
+
+    def test_select_empty_selection_rejected(self):
+        # A selector matching nothing must not silently lint nothing.
+        with pytest.raises(ValueError, match="empty rule selection"):
+            Linter(select=[" ", ""])
+
+    def test_select_deep_code_is_valid_but_selects_no_module_rules(self):
+        # Valid for the registry, just not a module rule: callers (the
+        # CLI) decide whether an empty shallow selection is an error.
+        linter = Linter(select=["RPR101"])
+        assert linter.rules == []
 
     def test_select_restricts_rules(self):
         linter = Linter(select=["RPR002"])
@@ -86,6 +112,43 @@ class TestSuppression:
             "rng = random.Random()  # repro: noqa[RPR002]\n",
         )
         assert [f.suppressed for f in findings] == [False]
+
+    def test_noqa_on_last_line_of_multiline_statement(self, tmp_path):
+        # black puts the closing paren (and the natural noqa spot) on the
+        # last line; the finding anchors to the first.  Any line of the
+        # statement must silence it.
+        findings = lint_source(
+            tmp_path,
+            "import random\n"
+            "values = [\n"
+            "    random.random(),\n"
+            "]  # repro: noqa[RPR001]\n",
+        )
+        assert len(findings) == 1
+        assert findings[0].suppressed
+        assert findings[0].suppression == "noqa"
+
+    def test_noqa_on_first_line_silences_later_lines(self, tmp_path):
+        findings = lint_source(
+            tmp_path,
+            "import random\n"
+            "values = sorted(  # repro: noqa[RPR001]\n"
+            "    [random.random()],\n"
+            ")\n",
+        )
+        assert [f.suppressed for f in findings] == [True]
+
+    def test_noqa_in_loop_body_does_not_silence_header(self, tmp_path):
+        # Compound statements spread only over their header lines: a noqa
+        # anchored inside the body must not leak up to the for line.
+        findings = lint_source(
+            tmp_path,
+            "import random\n"
+            "for x in random.sample(range(10), 3):\n"
+            "    y = 1  # repro: noqa[RPR001]\n",
+        )
+        assert len(findings) == 1
+        assert not findings[0].suppressed
 
 
 class TestLinting:
@@ -209,9 +272,45 @@ class TestCli:
         for code in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005"):
             assert code in out
 
+    def test_list_rules_includes_deep_codes(self, capsys):
+        assert self.run("--list-rules") == 0
+        out = capsys.readouterr().out
+        for code in ("RPR101", "RPR102", "RPR103", "RPR104"):
+            assert code in out
+            assert f"{code} " in out or f"{code}\t" in out or f"{code}  " in out
+        # Deep rules are marked as such so users know to pass --deep.
+        assert "[--deep]" in out
+
     def test_select_filters(self, tmp_path, capsys):
         (tmp_path / "bad.py").write_text(
             "import random\nrandom.random()\n", encoding="utf-8"
         )
         assert self.run(str(tmp_path), "--select", "RPR002") == 0
         capsys.readouterr()
+
+    def test_select_unknown_code_exits_with_usage_error(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n", encoding="utf-8")
+        with pytest.raises(SystemExit) as excinfo:
+            self.run(str(tmp_path), "--select", "RPR999")
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "RPR999" in err
+        assert "RPR001" in err  # the valid codes are listed
+
+    def test_select_whitespace_only_exits_with_usage_error(self, tmp_path, capsys):
+        # Previously ``--select ,`` selected nothing and exited 0 — the
+        # silent-pass failure mode for a CI gate.
+        (tmp_path / "bad.py").write_text(
+            "import random\nrandom.random()\n", encoding="utf-8"
+        )
+        with pytest.raises(SystemExit) as excinfo:
+            self.run(str(tmp_path), "--select", ",")
+        assert excinfo.value.code == 2
+        capsys.readouterr()
+
+    def test_select_deep_only_code_without_deep_flag_errors(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n", encoding="utf-8")
+        with pytest.raises(SystemExit) as excinfo:
+            self.run(str(tmp_path), "--select", "RPR101")
+        assert excinfo.value.code == 2
+        assert "--deep" in capsys.readouterr().err

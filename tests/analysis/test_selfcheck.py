@@ -6,12 +6,17 @@ telemetry kind, hash-ordered accounting, or an undeclared cache
 dependency fails the suite — not just the CI lint job.
 """
 
+import json
 from pathlib import Path
 
+from repro.analysis.baseline import apply_baseline, load_baseline
+from repro.analysis.deep import DeepLinter
 from repro.analysis.flowcheck import check_flow, figure_flows
 from repro.analysis.linter import Linter, summary_counts, unsuppressed
 
 SRC = Path(__file__).resolve().parents[2] / "src"
+REPO = Path(__file__).resolve().parents[2]
+BASELINE = REPO / "analysis-baseline.json"
 
 
 def test_src_tree_has_no_unsuppressed_findings():
@@ -50,3 +55,67 @@ def test_figure_flows_pass_flowcheck():
     for flow, spec in figure_flows():
         issues = check_flow(flow, spec)
         assert issues == [], "\n".join(issue.render() for issue in issues)
+
+
+class TestDeepSelfScan:
+    """The deep pass over src/repro: the interprocedural acceptance bar."""
+
+    def scan(self):
+        findings, analysis = DeepLinter().lint_paths([SRC / "repro"])
+        return findings, analysis
+
+    def test_deep_pass_has_no_unsuppressed_findings(self):
+        findings, _ = self.scan()
+        offenders = unsuppressed(findings)
+        assert offenders == [], "\n".join(f.render() for f in offenders)
+
+    def test_deep_suppression_inventory_is_exact(self):
+        """Deep suppressions == shallow suppressions: the RPR1xx rules are
+        clean over src/repro with zero noqa debt — any new deep suppression
+        must be added here deliberately."""
+        findings, _ = self.scan()
+        silenced = sorted(
+            (Path(f.path).name, f.code, f.suppression)
+            for f in findings
+            if f.suppressed
+        )
+        assert [site for site in silenced if site[1] != "RPR002"] == []
+        assert len(silenced) == 10
+        counts = summary_counts(findings)
+        assert set(counts) == {"RPR002"}
+
+    def test_deep_pass_sees_the_real_pipelines(self):
+        """The call graph actually resolves the figure flows — if binding
+        detection regresses, the deep rules silently check nothing."""
+        _, analysis = self.scan()
+        stats = analysis.stats()
+        assert stats["cache_bindings"] >= 14
+        assert stats["shard_bindings"] >= 4
+        assert stats["call_edges"] >= 900
+        labels = {b.label for b in analysis.program.cache_bindings}
+        assert "'acquire'" in labels  # arecibo transforms dict
+        assert "'reconstruction'" in labels  # cleo transforms dict
+        shard_fns = {
+            b.fn_qualname.rpartition(".")[2]
+            for b in analysis.program.shard_bindings
+        }
+        assert {
+            "_search_pointing_shard",
+            "_observe_pointing_shard",
+            "_reconstruct_run_shard",
+            "_pack_crawl_shard",
+        } <= shard_fns
+
+    def test_committed_baseline_is_empty_and_current(self):
+        """The tree is deep-clean, so the ratchet starts at zero debt; a
+        new finding (or a stale entry) fails this test before CI."""
+        entries = load_baseline(BASELINE)
+        assert entries == {}
+        raw = json.loads(BASELINE.read_text(encoding="utf-8"))
+        assert raw["version"] == 1
+        findings, _ = self.scan()
+        result = apply_baseline(findings, entries)
+        assert result.ok, (
+            "\n".join(f.render() for f in result.new)
+            or f"stale: {sorted(result.stale)}"
+        )
